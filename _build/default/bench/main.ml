@@ -1,0 +1,196 @@
+(* The benchmark harness.
+
+   Two layers, matching deliverable (d) of DESIGN.md:
+
+   1. The *reproduction harness*: running this executable regenerates every
+      table and figure of the paper's evaluation (plus the ablations in
+      DESIGN.md), printing measured rows next to the published ones.
+      Experiment ids can be given on the command line to run a subset.
+
+   2. A Bechamel micro-benchmark per table/figure: the computational kernel
+      each experiment leans on (simulation, sampling, discrepancy, tree
+      construction, center selection, ...), timed precisely.
+
+   Usage:
+     bench/main.exe                 run experiments (ARCHPRED_SCALE) + micro
+     bench/main.exe table3 fig7     run the named experiments only
+     bench/main.exe --micro         run only the micro-benchmarks
+     bench/main.exe --paper         run only the paper's tables and figures
+*)
+
+module Experiments = Archpred_experiments
+module Core = Archpred_core
+module Design = Archpred_design
+module Stats = Archpred_stats
+module Rbf = Archpred_rbf
+module Tree = Archpred_regtree.Tree
+module Linreg = Archpred_linreg
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures: small, deterministic work items.          *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_rng () = Stats.Rng.create 7
+
+let fixture_trace =
+  lazy
+    (Archpred_workloads.Generator.generate ~seed:7
+       Archpred_workloads.Spec2000.mcf ~length:5_000)
+
+let fixture_sample =
+  lazy
+    (let rng = fixture_rng () in
+     Design.Lhs.sample rng Core.Paper_space.space ~n:90)
+
+let fixture_responses =
+  lazy
+    (let resp = Core.Response.synthetic_smooth ~dim:9 in
+     Array.map resp.Core.Response.eval (Lazy.force fixture_sample))
+
+let fixture_tree =
+  lazy
+    (Tree.build ~p_min:1 ~dim:9 ~points:(Lazy.force fixture_sample)
+       ~responses:(Lazy.force fixture_responses) ())
+
+let fixture_predictor =
+  lazy
+    (let tree = Lazy.force fixture_tree in
+     let candidates = Rbf.Tree_centers.of_tree ~alpha:7. tree in
+     let selection =
+       Rbf.Selection.select ~tree ~candidates
+         ~points:(Lazy.force fixture_sample)
+         ~responses:(Lazy.force fixture_responses)
+         ()
+     in
+     {
+       Core.Predictor.space = Core.Paper_space.space;
+       network = selection.Rbf.Selection.network;
+       tree = Some tree;
+       p_min = 1;
+       alpha = 7.;
+     })
+
+(* One micro-benchmark per table/figure: the kernel that dominates the
+   experiment's cost. *)
+let micro_tests =
+  [
+    ( "table1_space_decode",
+      fun () ->
+        let p = Array.make 9 0.5 in
+        ignore (Design.Space.decode Core.Paper_space.space p) );
+    ( "table2_test_point_draw",
+      let rng = fixture_rng () in
+      fun () -> ignore (Core.Paper_space.test_points rng ~n:50) );
+    ( "table3_simulate_5k_insts",
+      let trace = Lazy.force fixture_trace in
+      fun () ->
+        ignore (Archpred_sim.Processor.cpi Archpred_sim.Config.default trace)
+    );
+    ( "table4_tune_grid_cell",
+      let tree = Lazy.force fixture_tree in
+      let points = Lazy.force fixture_sample in
+      let responses = Lazy.force fixture_responses in
+      fun () ->
+        let candidates = Rbf.Tree_centers.of_tree ~alpha:7. tree in
+        ignore (Rbf.Selection.select ~tree ~candidates ~points ~responses ())
+    );
+    ( "table5_tree_build",
+      let points = Lazy.force fixture_sample in
+      let responses = Lazy.force fixture_responses in
+      fun () -> ignore (Tree.build ~p_min:1 ~dim:9 ~points ~responses ()) );
+    ( "fig1_config_decode",
+      fun () ->
+        let p = Array.make 9 0.5 in
+        ignore (Core.Paper_space.to_config p) );
+    ( "fig2_l2star_discrepancy_n90",
+      let sample = Lazy.force fixture_sample in
+      fun () -> ignore (Design.Discrepancy.l2_star sample) );
+    ( "fig3_network_eval",
+      let predictor = Lazy.force fixture_predictor in
+      let p = Array.make 9 0.5 in
+      fun () -> ignore (Core.Predictor.predict predictor p) );
+    ( "fig4_lhs_sample_n90",
+      let rng = fixture_rng () in
+      fun () -> ignore (Design.Lhs.sample rng Core.Paper_space.space ~n:90) );
+    ( "fig5_split_enumeration",
+      let tree = Lazy.force fixture_tree in
+      fun () -> ignore (Tree.splits tree) );
+    ( "fig6_trend_predict_grid",
+      let predictor = Lazy.force fixture_predictor in
+      fun () ->
+        let base = Array.make 9 0.5 in
+        ignore
+          (Core.Trend.sweep ~predictor ~base ~dim1:6 ~steps1:4 ~dim2:5
+             ~steps2:6 ()) );
+    ( "fig7_linear_stepwise",
+      let points = Lazy.force fixture_sample in
+      let responses = Lazy.force fixture_responses in
+      fun () -> ignore (Linreg.Model.stepwise ~points ~responses ()) );
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline (String.make 78 '=');
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) micro_tests
+  in
+  let grouped = Test.make_grouped ~name:"archpred" tests in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
+  print_endline (String.make 60 '-');
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (t :: _) ->
+          let pretty =
+            if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+          in
+          Printf.printf "%-42s %16s\n" name pretty
+      | Some [] | None -> Printf.printf "%-42s %16s\n" name "n/a")
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro_only = List.mem "--micro" args in
+  let paper_flag = List.mem "--paper" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let ppf = Format.std_formatter in
+  if not micro_only then begin
+    let ctx = Experiments.Context.create () in
+    let entries =
+      match ids with
+      | [] ->
+          if paper_flag then Experiments.Registry.paper_only
+          else Experiments.Registry.all
+      | ids ->
+          List.filter_map
+            (fun id ->
+              match Experiments.Registry.find id with
+              | Some e -> Some e
+              | None ->
+                  Format.eprintf "unknown experiment id: %s@." id;
+                  None)
+            ids
+    in
+    Experiments.Registry.run_all ~entries ctx ppf;
+    Format.pp_print_flush ppf ()
+  end;
+  if micro_only || ids = [] then run_micro ()

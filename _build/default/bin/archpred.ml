@@ -1,0 +1,393 @@
+(* archpred — command-line interface to the library.
+
+   Subcommands:
+     benchmarks   list the synthetic SPEC CPU2000 stand-in workloads
+     simulate     run the cycle-level simulator on one benchmark/config
+     sample       draw a discrepancy-optimised latin hypercube sample
+     train        build an RBF CPI model for a benchmark and report accuracy
+     search       model-driven search for the best design point
+     reproduce    regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+module Stats = Archpred_stats
+module Design = Archpred_design
+module Sim = Archpred_sim
+module Workloads = Archpred_workloads
+module Core = Archpred_core
+module Experiments = Archpred_experiments
+
+(* ---------- shared arguments ---------- *)
+
+let benchmark_arg =
+  let parse s =
+    match Workloads.Spec2000_extra.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S (try `archpred benchmarks')"
+                s))
+  in
+  let print ppf (p : Workloads.Profile.t) =
+    Format.pp_print_string ppf p.name
+  in
+  Arg.conv (parse, print)
+
+let bench_t =
+  Arg.(
+    required
+    & opt (some benchmark_arg) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME"
+        ~doc:"Benchmark workload (e.g. mcf, 255.vortex).")
+
+let seed_t =
+  Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trace_length_t =
+  Arg.(
+    value
+    & opt int 60_000
+    & info [ "trace-length" ] ~docv:"N" ~doc:"Synthetic trace length.")
+
+let sample_size_t =
+  Arg.(
+    value
+    & opt int 90
+    & info [ "n"; "sample-size" ] ~docv:"N" ~doc:"Training sample size.")
+
+(* ---------- benchmarks ---------- *)
+
+let benchmarks_cmd =
+  let run () =
+    Format.printf "the paper's eight benchmarks:@.";
+    List.iter
+      (fun (p : Workloads.Profile.t) ->
+        Format.printf "  %-12s  %s@." p.name p.description)
+      Workloads.Spec2000.all;
+    Format.printf "@.extras (not part of the reproduction):@.";
+    List.iter
+      (fun (p : Workloads.Profile.t) ->
+        Format.printf "  %-12s  %s@." p.name p.description)
+      Workloads.Spec2000_extra.all
+  in
+  Cmd.v (Cmd.info "benchmarks" ~doc:"List available benchmark workloads")
+    Term.(const run $ const ())
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let nine name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"V" ~doc)
+  in
+  let run bench trace_length seed pipe rob iq lsq l2s l2l il1 dl1 dl1l =
+    let trace = Workloads.Generator.generate ~seed bench ~length:trace_length in
+    let cfg =
+      Sim.Config.make ~pipe_depth:pipe ~rob_size:rob ~iq_size:iq ~lsq_size:lsq
+        ~l2_size:l2s ~l2_latency:l2l ~il1_size:il1 ~dl1_size:dl1
+        ~dl1_latency:dl1l ()
+    in
+    let result = Sim.Processor.run cfg trace in
+    Format.printf "%a@.@.%a@." Sim.Config.pp cfg Sim.Processor.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one benchmark at one configuration")
+    Term.(
+      const run $ bench_t $ trace_length_t $ seed_t
+      $ nine "pipe-depth" 14 "Pipeline depth."
+      $ nine "rob" 80 "Reorder-buffer size."
+      $ nine "iq" 40 "Issue-queue size."
+      $ nine "lsq" 40 "Load/store-queue size."
+      $ nine "l2-size" (2 * 1024 * 1024) "L2 capacity in bytes."
+      $ nine "l2-lat" 12 "L2 hit latency."
+      $ nine "il1-size" (32 * 1024) "L1I capacity in bytes."
+      $ nine "dl1-size" (32 * 1024) "L1D capacity in bytes."
+      $ nine "dl1-lat" 2 "L1D hit latency.")
+
+(* ---------- sample ---------- *)
+
+let sample_cmd =
+  let candidates_t =
+    Arg.(
+      value & opt int 100
+      & info [ "candidates" ] ~docv:"N"
+          ~doc:"Latin hypercube candidates scored by discrepancy.")
+  in
+  let run n candidates seed =
+    let rng = Stats.Rng.create seed in
+    let result =
+      Design.Optimize.best_lhs ~candidates rng Core.Paper_space.space ~n
+    in
+    Format.printf "best-of-%d LHS, n=%d, L2-star discrepancy %.5f@.@."
+      candidates n result.Design.Optimize.discrepancy;
+    Array.iteri
+      (fun i p ->
+        Format.printf "%3d %a@." i
+          (Design.Space.pp_point Core.Paper_space.space)
+          p)
+      result.Design.Optimize.points
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Draw a space-filling sample of the design space")
+    Term.(const run $ sample_size_t $ candidates_t $ seed_t)
+
+(* ---------- train ---------- *)
+
+let metric_t =
+  let parse s =
+    match s with
+    | "cpi" -> Ok Core.Response.Cpi
+    | "epi" -> Ok Core.Response.Energy_per_instruction
+    | "edp" -> Ok Core.Response.Energy_delay_product
+    | _ -> Error (`Msg "metric must be cpi, epi or edp")
+  in
+  let print ppf m = Format.pp_print_string ppf (Core.Response.metric_to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Core.Response.Cpi
+    & info [ "metric" ] ~docv:"METRIC"
+        ~doc:"Response metric: cpi, epi (energy/instruction) or edp.")
+
+let train_cmd =
+  let test_n_t =
+    Arg.(
+      value & opt int 50
+      & info [ "test-points" ] ~docv:"N" ~doc:"Random test points.")
+  in
+  let save_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the trained model to FILE.")
+  in
+  let target_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-error" ] ~docv:"PCT"
+          ~doc:
+            "Run the paper's full iterative procedure: grow the sample \
+             through SIZES until the mean test error reaches PCT percent.")
+  in
+  let sizes_t =
+    Arg.(
+      value
+      & opt (list int) [ 30; 50; 70; 90; 110; 200 ]
+      & info [ "sizes" ] ~docv:"N,N,..."
+          ~doc:"Sample-size schedule used with --target-error.")
+  in
+  let run bench n trace_length seed test_n metric save target sizes =
+    let rng = Stats.Rng.create seed in
+    let response =
+      Core.Response.simulator_metric ~trace_length ~seed ~metric bench
+    in
+    let test = Core.Paper_space.test_points rng ~n:test_n in
+    let actual = Core.Response.evaluate_many response test in
+    let t0 = Unix.gettimeofday () in
+    let trained =
+      match target with
+      | None ->
+          Format.printf "training RBF %s model for %s (n=%d, trace=%d)...@."
+            (Core.Response.metric_to_string metric)
+            bench.Workloads.Profile.name n trace_length;
+          Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+      | Some target_mean_pct ->
+          Format.printf
+            "building to %.1f%% mean error for %s (schedule %s)...@."
+            target_mean_pct bench.Workloads.Profile.name
+            (String.concat "," (List.map string_of_int sizes));
+          let history =
+            Core.Build.build_to_accuracy ~rng ~space:Core.Paper_space.space
+              ~response ~sizes ~test_points:test ~test_responses:actual
+              ~target_mean_pct ()
+          in
+          List.iter
+            (fun (s : Core.Build.step) ->
+              Format.printf "  n=%-4d mean error %.2f%%@." s.Core.Build.size
+                s.Core.Build.test_error.Stats.Error_metrics.mean_pct)
+            history.Core.Build.steps;
+          history.Core.Build.final.Core.Build.trained
+    in
+    let err =
+      Core.Predictor.errors_on trained.Core.Build.predictor ~points:test
+        ~actual
+    in
+    Format.printf "p_min=%d alpha=%.0f centers=%d discrepancy=%.5f (%.1fs)@."
+      trained.Core.Build.tune.Core.Tune.p_min
+      trained.Core.Build.tune.Core.Tune.alpha
+      (Core.Predictor.n_centers trained.Core.Build.predictor)
+      trained.Core.Build.discrepancy
+      (Unix.gettimeofday () -. t0);
+    Format.printf "test error: %a@." Stats.Error_metrics.pp err;
+    match save with
+    | Some path ->
+        Core.Persist.save trained.Core.Build.predictor path;
+        Format.printf "model written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train an RBF performance model and report its accuracy")
+    Term.(
+      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ test_n_t
+      $ metric_t $ save_t $ target_t $ sizes_t)
+
+(* ---------- predict ---------- *)
+
+let predict_cmd =
+  let model_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file from `train --save'.")
+  in
+  let point_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VALUES"
+          ~doc:
+            "Comma-separated natural parameter values in dimension order: \
+             pipe_depth,ROB,IQ_ratio,LSQ_ratio,L2_size,L2_lat,il1,dl1,dl1_lat.")
+  in
+  let run model point =
+    let predictor = Core.Persist.load model in
+    let values =
+      String.split_on_char ',' point
+      |> List.map String.trim
+      |> List.map float_of_string
+      |> Array.of_list
+    in
+    let predicted = Core.Predictor.predict_natural predictor values in
+    Format.printf "%.6f@." predicted
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Predict the response at a configuration using a saved model")
+    Term.(const run $ model_t $ point_t)
+
+(* ---------- search ---------- *)
+
+let search_cmd =
+  let run bench n trace_length seed =
+    let rng = Stats.Rng.create seed in
+    let response = Core.Response.simulator ~trace_length ~seed bench in
+    let trained =
+      Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+    in
+    let result =
+      Core.Search.minimize ~rng ~predictor:trained.Core.Build.predictor ()
+    in
+    let simulated = response.Core.Response.eval result.Core.Search.point in
+    Format.printf "best point (%d model evaluations):@.  %a@."
+      result.Core.Search.evaluations
+      (Design.Space.pp_point Core.Paper_space.space)
+      result.Core.Search.point;
+    Format.printf "predicted CPI %.4f, simulated CPI %.4f@."
+      result.Core.Search.predicted simulated
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Find the design point with the lowest predicted CPI")
+    Term.(const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t)
+
+(* ---------- sensitivity ---------- *)
+
+let sensitivity_cmd =
+  let run bench n trace_length seed metric =
+    let rng = Stats.Rng.create seed in
+    let response =
+      Core.Response.simulator_metric ~trace_length ~seed ~metric bench
+    in
+    let trained =
+      Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+    in
+    let predictor = trained.Core.Build.predictor in
+    Format.printf "parameter significance for %s (%s), from a %d-simulation model@.@."
+      bench.Workloads.Profile.name
+      (Core.Response.metric_to_string metric)
+      n;
+    Format.printf "main effects (one-at-a-time response range):@.";
+    List.iter
+      (fun (e : Core.Sensitivity.effect) ->
+        Format.printf "  %-12s %8.4f@." e.Core.Sensitivity.name
+          e.Core.Sensitivity.magnitude)
+      (Core.Sensitivity.main_effects predictor);
+    Format.printf "@.total effects (variance-based, interactions included):@.";
+    List.iter
+      (fun (e : Core.Sensitivity.effect) ->
+        Format.printf "  %-12s %8.4f@." e.Core.Sensitivity.name
+          e.Core.Sensitivity.magnitude)
+      (Core.Sensitivity.total_effects ~rng predictor);
+    Format.printf "@.strongest two-factor interactions:@.";
+    List.iter
+      (fun (a, b, v) -> Format.printf "  %-12s x %-12s %8.4f@." a b v)
+      (Core.Sensitivity.top_interactions ~count:5 predictor)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Rank parameter significance using a trained model")
+    Term.(
+      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ metric_t)
+
+(* ---------- reproduce ---------- *)
+
+let reproduce_cmd =
+  let ids_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (table1..table5, fig1..fig7, ablation_*).")
+  in
+  let scale_t =
+    let parse s =
+      match Experiments.Scale.of_string s with
+      | Some t -> Ok t
+      | None -> Error (`Msg "scale must be small, medium or full")
+    in
+    let print ppf s =
+      Format.pp_print_string ppf (Experiments.Scale.to_string s)
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Experiment scale (small, medium, full); overrides \
+                ARCHPRED_SCALE.")
+  in
+  let run ids scale seed =
+    let ctx = Experiments.Context.create ~seed ?scale () in
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Experiments.Registry.find id with
+              | Some e -> e
+              | None -> failwith ("unknown experiment id: " ^ id))
+            ids
+    in
+    Experiments.Registry.run_all ~entries ctx Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "reproduce"
+       ~doc:"Regenerate the paper's tables and figures (see DESIGN.md)")
+    Term.(const run $ ids_t $ scale_t $ seed_t)
+
+let () =
+  let doc = "predictive performance models for superscalar processors" in
+  let info = Cmd.info "archpred" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            benchmarks_cmd;
+            simulate_cmd;
+            sample_cmd;
+            train_cmd;
+            predict_cmd;
+            search_cmd;
+            sensitivity_cmd;
+            reproduce_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_trace.ml: Archpred_sim Archpred_workloads Filename Format Fun Printf Sys Unix

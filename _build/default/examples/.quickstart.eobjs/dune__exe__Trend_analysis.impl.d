@@ -1,0 +1,1 @@
+examples/trend_analysis.ml: Archpred_core Archpred_design Archpred_stats Archpred_workloads Array Float List Printf String

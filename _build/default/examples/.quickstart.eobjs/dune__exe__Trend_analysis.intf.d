@@ -1,0 +1,1 @@
+examples/trend_analysis.mli:

@@ -1,0 +1,46 @@
+(* Adaptive sampling: the paper's future-work idea (section 6), "wherein
+   sets of design points to simulate are selected based on data from
+   initial small samples".
+
+     dune exec examples/adaptive_sampling.exe
+
+   Runs the adaptive loop for a memory-bound benchmark and compares the
+   result, at the same simulation budget, against one-shot latin hypercube
+   sampling. *)
+
+module Stats = Archpred_stats
+module Core = Archpred_core
+module Workloads = Archpred_workloads
+
+let () =
+  let rng = Stats.Rng.create 17 in
+  let benchmark = Workloads.Spec2000.mcf in
+  let response = Core.Response.simulator ~trace_length:40_000 benchmark in
+  let space = Core.Paper_space.space in
+
+  Printf.printf "adaptive sampling for %s: 30 initial + 3 rounds of 15...\n%!"
+    benchmark.Workloads.Profile.name;
+  let adaptive =
+    Core.Adaptive.run ~initial:30 ~batch:15 ~rounds:3 ~rng ~space ~response ()
+  in
+  List.iter
+    (fun (s : Core.Adaptive.step) ->
+      Printf.printf "  round at n=%-3d  cross-validated error %.2f%%\n"
+        s.Core.Adaptive.sample_size s.Core.Adaptive.cv_error_pct)
+    adaptive.Core.Adaptive.steps;
+  let budget = adaptive.Core.Adaptive.total_simulations in
+
+  Printf.printf "\none-shot LHS at the same budget (%d simulations)...\n%!"
+    budget;
+  let one_shot = Core.Build.train ~rng ~space ~response ~n:budget () in
+
+  let test = Core.Paper_space.test_points rng ~n:30 in
+  let actual = Core.Response.evaluate_many response test in
+  let err name predictor =
+    let e = Core.Predictor.errors_on predictor ~points:test ~actual in
+    Printf.printf "%-14s mean %.2f%%  max %.2f%%\n" name
+      e.Stats.Error_metrics.mean_pct e.Stats.Error_metrics.max_pct
+  in
+  print_newline ();
+  err "adaptive" adaptive.Core.Adaptive.trained.Core.Build.predictor;
+  err "one-shot LHS" one_shot.Core.Build.predictor

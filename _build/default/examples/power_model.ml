@@ -1,0 +1,67 @@
+(* Power modeling: the paper's conclusion suggests "similar models can be
+   developed for other metrics such as power consumption".
+
+     dune exec examples/power_model.exe
+
+   Train two RBF models for the same benchmark — one predicting CPI, one
+   predicting energy per instruction — then use them together to find an
+   energy-delay sweet spot without further simulation. *)
+
+module Stats = Archpred_stats
+module Core = Archpred_core
+module Workloads = Archpred_workloads
+
+let () =
+  let rng = Stats.Rng.create 31 in
+  let benchmark = Workloads.Spec2000.equake in
+  let cpi_response = Core.Response.simulator ~trace_length:40_000 benchmark in
+  let epi_response =
+    Core.Response.simulator_metric ~trace_length:40_000
+      ~metric:Core.Response.Energy_per_instruction benchmark
+  in
+  Printf.printf "training CPI and EPI models for %s (70 simulations each)...\n%!"
+    benchmark.Workloads.Profile.name;
+  let space = Core.Paper_space.space in
+  let cpi_model = Core.Build.train ~rng ~space ~response:cpi_response ~n:70 () in
+  let epi_model = Core.Build.train ~rng ~space ~response:epi_response ~n:70 () in
+
+  (* Validate both models. *)
+  let test = Core.Paper_space.test_points rng ~n:20 in
+  let report name model response =
+    let actual = Core.Response.evaluate_many response test in
+    let err =
+      Core.Predictor.errors_on model.Core.Build.predictor ~points:test ~actual
+    in
+    Printf.printf "%s model: mean error %.2f%%, max %.2f%%\n" name
+      err.Stats.Error_metrics.mean_pct err.Stats.Error_metrics.max_pct
+  in
+  report "CPI" cpi_model cpi_response;
+  report "EPI" epi_model epi_response;
+
+  (* Model-driven EDP minimisation: predicted CPI x predicted EPI. *)
+  let best = ref None in
+  let evaluations = 5_000 in
+  for _ = 1 to evaluations do
+    let p = Array.init 9 (fun _ -> Stats.Rng.unit_float rng) in
+    let edp =
+      Core.Predictor.predict cpi_model.Core.Build.predictor p
+      *. Core.Predictor.predict epi_model.Core.Build.predictor p
+    in
+    match !best with
+    | Some (_, e) when e <= edp -> ()
+    | Some _ | None -> best := Some (p, edp)
+  done;
+  match !best with
+  | None -> assert false
+  | Some (p, edp) ->
+      Printf.printf
+        "\nbest predicted energy-delay product over %d candidates: %.4f\n"
+        evaluations edp;
+      Format.printf "at %a@."
+        (Archpred_design.Space.pp_point space)
+        p;
+      (* confirm with one simulation of each metric *)
+      let cpi = cpi_response.Core.Response.eval p in
+      let epi = epi_response.Core.Response.eval p in
+      Printf.printf "confirming simulation: CPI %.4f x EPI %.4f = EDP %.4f\n"
+        cpi epi (cpi *. epi)

@@ -1,0 +1,58 @@
+(* Quickstart: train a CPI model for one benchmark and use it in place of
+   the simulator.
+
+     dune exec examples/quickstart.exe
+
+   Steps (the paper's BuildRBFmodel procedure, section 1):
+     1. take the 9-parameter design space of Table 1;
+     2. draw a discrepancy-optimised latin hypercube sample;
+     3. simulate the benchmark at each sampled design point;
+     4. grow a regression tree, place RBFs on its regions, select centers
+        by AICc and fit the weights;
+     5. check accuracy on independent random test points. *)
+
+module Stats = Archpred_stats
+module Core = Archpred_core
+module Workloads = Archpred_workloads
+
+let () =
+  let rng = Stats.Rng.create 42 in
+  let benchmark = Workloads.Spec2000.twolf in
+
+  (* The response: CPI of a synthetic twolf-like trace, simulated at any
+     point of the design space.  Results are memoised. *)
+  let response = Core.Response.simulator ~trace_length:40_000 benchmark in
+
+  (* Train on 70 simulations. *)
+  Printf.printf "training a CPI model for %s on 70 simulations...\n%!"
+    benchmark.Workloads.Profile.name;
+  let trained =
+    Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n:70 ()
+  in
+  let predictor = trained.Core.Build.predictor in
+  Printf.printf "model: %d RBF centers, p_min=%d, alpha=%.0f\n"
+    (Core.Predictor.n_centers predictor)
+    predictor.Core.Predictor.p_min predictor.Core.Predictor.alpha;
+
+  (* Validate on 20 independent random configurations. *)
+  let test = Core.Paper_space.test_points rng ~n:20 in
+  let actual = Core.Response.evaluate_many response test in
+  let err = Core.Predictor.errors_on predictor ~points:test ~actual in
+  Printf.printf "test error: mean %.2f%%, max %.2f%%\n\n" err.mean_pct
+    err.max_pct;
+
+  (* Use the model: predict CPI for a configuration given in natural
+     units — no simulation involved. *)
+  let natural =
+    (* pipe_depth rob iq_ratio lsq_ratio l2_size l2_lat il1 dl1 dl1_lat *)
+    [| 12.; 96.; 0.5; 0.5; 4194304.; 9.; 32768.; 32768.; 2. |]
+  in
+  let predicted = Core.Predictor.predict_natural predictor natural in
+  let simulated =
+    response.Core.Response.eval
+      (Archpred_design.Space.encode Core.Paper_space.space natural)
+  in
+  Printf.printf
+    "12-deep, 96-entry ROB, 4MB L2 @ 9 cycles, 32KB L1s @ 2 cycles:\n";
+  Printf.printf "  predicted CPI %.4f   simulated CPI %.4f\n" predicted
+    simulated

@@ -1,0 +1,70 @@
+(* Trend analysis: does the model capture parameter interactions?
+
+     dune exec examples/trend_analysis.exe
+
+   Recreates the section 4.1 workflow on vortex: train a model, then sweep
+   the instruction-cache size against the L2 latency and compare the
+   model's predicted CPI curves with simulation, rendered as ASCII
+   sparklines. *)
+
+module Stats = Archpred_stats
+module Design = Archpred_design
+module Core = Archpred_core
+module Workloads = Archpred_workloads
+
+let sparkline values lo hi =
+  let glyphs = [| '_'; '.'; '-'; '='; '*'; '#' |] in
+  String.init (Array.length values) (fun i ->
+      let t = (values.(i) -. lo) /. Float.max 1e-9 (hi -. lo) in
+      glyphs.(max 0 (min 5 (int_of_float (t *. 5.99)))))
+
+let () =
+  let rng = Stats.Rng.create 11 in
+  let benchmark = Workloads.Spec2000.vortex in
+  let response = Core.Response.simulator ~trace_length:40_000 benchmark in
+  Printf.printf "training model for %s on 80 simulations...\n%!"
+    benchmark.Workloads.Profile.name;
+  let trained =
+    Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n:80 ()
+  in
+  let space = Core.Paper_space.space in
+  let dim_il1 = Design.Space.index_of space "il1_size" in
+  let dim_l2lat = Design.Space.index_of space "L2_lat" in
+  let base = Array.make Core.Paper_space.dim 0.5 in
+  let series =
+    Core.Trend.sweep ~simulate:response
+      ~predictor:trained.Core.Build.predictor ~base ~dim1:dim_il1 ~steps1:4
+      ~dim2:dim_l2lat ~steps2:10 ()
+  in
+  (* Common scale across all series. *)
+  let all =
+    Array.to_list series
+    |> List.concat_map (fun (s : Core.Trend.series) ->
+           Array.to_list s.predicted
+           @
+           match s.simulated with
+           | Some sim -> Array.to_list sim
+           | None -> [])
+  in
+  let lo = List.fold_left Float.min infinity all in
+  let hi = List.fold_left Float.max neg_infinity all in
+  Printf.printf "\nCPI vs L2 latency (20 -> 5 cycles), one row per il1 size\n";
+  Printf.printf "scale: %.3f (_) .. %.3f (#)\n\n" lo hi;
+  Array.iter
+    (fun (s : Core.Trend.series) ->
+      let sim =
+        match s.simulated with Some v -> v | None -> assert false
+      in
+      Printf.printf "il1 %3.0fKB  simulated %s\n" (s.dim1_value /. 1024.)
+        (sparkline sim lo hi);
+      Printf.printf "           predicted %s\n\n" (sparkline s.predicted lo hi))
+    series;
+  (* Quantify trend agreement with rank correlation. *)
+  Array.iter
+    (fun (s : Core.Trend.series) ->
+      let sim = match s.simulated with Some v -> v | None -> assert false in
+      Printf.printf
+        "il1 %3.0fKB: Spearman rank correlation (model vs simulator) = %.3f\n"
+        (s.dim1_value /. 1024.)
+        (Stats.Correlation.spearman sim s.predicted))
+    series

@@ -1,0 +1,1 @@
+lib/ann/mlp.ml: Archpred_stats Array

@@ -1,0 +1,1 @@
+lib/ann/mlp.mli:

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Archpred_design Archpred_rbf Archpred_stats Array Build Crossval List Predictor Response Tune

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Archpred_design Archpred_stats Build Response

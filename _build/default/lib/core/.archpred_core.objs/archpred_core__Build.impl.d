@@ -1,0 +1,1 @@
+lib/core/build.ml: Archpred_design Archpred_rbf Archpred_stats List Predictor Response Tune

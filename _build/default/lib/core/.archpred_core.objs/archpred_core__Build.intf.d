@@ -1,0 +1,1 @@
+lib/core/build.mli: Archpred_design Archpred_rbf Archpred_stats Predictor Response Tune

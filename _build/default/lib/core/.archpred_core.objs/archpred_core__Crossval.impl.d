@@ -1,0 +1,1 @@
+lib/core/crossval.ml: Archpred_rbf Archpred_regtree Archpred_stats Array Fun List

@@ -1,0 +1,1 @@
+lib/core/crossval.mli: Archpred_design Archpred_stats

@@ -1,0 +1,1 @@
+lib/core/paper_space.ml: Archpred_design Archpred_sim Array Float List

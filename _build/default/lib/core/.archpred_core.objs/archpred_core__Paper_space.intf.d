@@ -1,0 +1,1 @@
+lib/core/paper_space.mli: Archpred_design Archpred_sim Archpred_stats

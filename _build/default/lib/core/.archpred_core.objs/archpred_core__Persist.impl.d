@@ -1,0 +1,1 @@
+lib/core/persist.ml: Archpred_design Archpred_rbf Array Buffer Fun In_channel List Predictor Printf String

@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Archpred_design Archpred_rbf Archpred_regtree Archpred_stats Array

@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Archpred_design Archpred_rbf Archpred_regtree Archpred_stats

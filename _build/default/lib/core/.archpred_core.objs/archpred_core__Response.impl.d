@@ -1,0 +1,1 @@
+lib/core/response.ml: Archpred_design Archpred_sim Archpred_stats Archpred_workloads Array Hashtbl Int64 Mutex Paper_space

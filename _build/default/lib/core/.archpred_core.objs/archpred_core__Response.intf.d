@@ -1,0 +1,1 @@
+lib/core/response.mli: Archpred_design Archpred_workloads

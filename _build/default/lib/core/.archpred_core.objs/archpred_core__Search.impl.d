@@ -1,0 +1,1 @@
+lib/core/search.ml: Archpred_design Archpred_stats Array Predictor

@@ -1,0 +1,1 @@
+lib/core/search.mli: Archpred_design Archpred_stats Predictor

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Archpred_design Archpred_stats Array Float List Predictor

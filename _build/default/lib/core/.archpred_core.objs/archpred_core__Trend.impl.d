@@ -1,0 +1,1 @@
+lib/core/trend.ml: Archpred_design Array Option Predictor Response

@@ -1,0 +1,1 @@
+lib/core/tune.ml: Archpred_rbf Archpred_regtree List

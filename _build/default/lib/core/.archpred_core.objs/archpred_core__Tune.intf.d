@@ -1,0 +1,1 @@
+lib/core/tune.mli: Archpred_rbf Archpred_regtree

@@ -1,0 +1,112 @@
+module Design = Archpred_design
+module Stats = Archpred_stats
+
+type step = { sample_size : int; cv_error_pct : float }
+
+type result = {
+  trained : Build.trained;
+  steps : step list;
+  total_simulations : int;
+}
+
+let distance2 a b =
+  let acc = ref 0. in
+  for k = 0 to Array.length a - 1 do
+    let d = a.(k) -. b.(k) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Acquisition: how badly do we want to simulate candidate [c]?
+   High when the model's cross-validated residuals near [c] are large
+   (local untrustworthiness) and when [c] is far from every simulated
+   point (novelty). *)
+let acquisition ~points ~residuals c =
+  let n = Array.length points in
+  let nearest = ref infinity and second = ref infinity in
+  let nearest_idx = ref 0 in
+  for i = 0 to n - 1 do
+    let d = distance2 c points.(i) in
+    if d < !nearest then begin
+      second := !nearest;
+      nearest := d;
+      nearest_idx := i
+    end
+    else if d < !second then second := d
+  done;
+  let local_residual = abs_float residuals.(!nearest_idx) in
+  sqrt !nearest *. (0.05 +. local_residual)
+
+let run ?(initial = 30) ?(batch = 15) ?(rounds = 4) ?(pool = 500) ~rng ~space
+    ~response () =
+  if initial < 10 then invalid_arg "Adaptive.run: initial < 10";
+  if batch < 1 || rounds < 0 || pool < batch then
+    invalid_arg "Adaptive.run: bad batch/rounds/pool";
+  let dim = Design.Space.dimension space in
+  let plan = Design.Optimize.best_lhs ~candidates:50 rng space ~n:initial in
+  let points = ref (Array.copy plan.Design.Optimize.points) in
+  let responses = ref (Response.evaluate_many response !points) in
+  let steps = ref [] in
+  let cv_of () =
+    let cv =
+      Crossval.k_fold ~k:5 ~rng:(Stats.Rng.split rng)
+        ~train:(fun ~points ~responses c ->
+          (Crossval.rbf_trainer ~dim ()) ~points ~responses c)
+        ~points:!points ~responses:!responses ()
+    in
+    cv
+  in
+  for _ = 1 to rounds do
+    let cv = cv_of () in
+    steps :=
+      { sample_size = Array.length !points; cv_error_pct = cv.Crossval.mean_pct }
+      :: !steps;
+    (* score a random candidate pool and take the best [batch] *)
+    let candidates =
+      Array.init pool (fun _ -> Array.init dim (fun _ -> Stats.Rng.unit_float rng))
+    in
+    let scored =
+      Array.map
+        (fun c ->
+          (acquisition ~points:!points ~residuals:cv.Crossval.residuals c, c))
+        candidates
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) scored;
+    let chosen = Array.init batch (fun i -> snd scored.(i)) in
+    let new_responses = Response.evaluate_many response chosen in
+    points := Array.append !points chosen;
+    responses := Array.append !responses new_responses
+  done;
+  let final_cv = cv_of () in
+  steps :=
+    {
+      sample_size = Array.length !points;
+      cv_error_pct = final_cv.Crossval.mean_pct;
+    }
+    :: !steps;
+  (* final full tuning over every simulated point *)
+  let tune =
+    Tune.tune ~dim ~points:!points ~responses:!responses ()
+  in
+  let trained =
+    {
+      Build.predictor =
+        {
+          Predictor.space;
+          network = tune.Tune.selection.Archpred_rbf.Selection.network;
+          tree = Some tune.Tune.tree;
+          p_min = tune.Tune.p_min;
+          alpha = tune.Tune.alpha;
+        };
+      sample = !points;
+      sample_responses = !responses;
+      discrepancy = Design.Discrepancy.l2_star !points;
+      criterion = tune.Tune.criterion;
+      tune;
+    }
+  in
+  {
+    trained;
+    steps = List.rev !steps;
+    total_simulations = Array.length !points;
+  }

@@ -1,0 +1,75 @@
+module Design = Archpred_design
+module Stats = Archpred_stats
+
+type trained = {
+  predictor : Predictor.t;
+  sample : Design.Space.point array;
+  sample_responses : float array;
+  discrepancy : float;
+  criterion : float;
+  tune : Tune.result;
+}
+
+let train ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100) ?domains
+    ~rng ~space ~response ~n () =
+  let plan =
+    Design.Optimize.best_lhs ~kind:Design.Discrepancy.Star
+      ~candidates:lhs_candidates rng space ~n
+  in
+  let sample = plan.Design.Optimize.points in
+  let sample_responses = Response.evaluate_many ?domains response sample in
+  let tune =
+    Tune.tune ?criterion ?p_min_grid ?alpha_grid
+      ~dim:(Design.Space.dimension space) ~points:sample
+      ~responses:sample_responses ()
+  in
+  let predictor =
+    {
+      Predictor.space;
+      network = tune.Tune.selection.Archpred_rbf.Selection.network;
+      tree = Some tune.Tune.tree;
+      p_min = tune.Tune.p_min;
+      alpha = tune.Tune.alpha;
+    }
+  in
+  {
+    predictor;
+    sample;
+    sample_responses;
+    discrepancy = plan.Design.Optimize.discrepancy;
+    criterion = tune.Tune.criterion;
+    tune;
+  }
+
+type step = {
+  size : int;
+  trained : trained;
+  test_error : Stats.Error_metrics.t;
+}
+
+type history = { steps : step list; final : step }
+
+let build_to_accuracy ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
+    ?domains ~rng ~space ~response ~sizes ~test_points ~test_responses
+    ~target_mean_pct () =
+  if sizes = [] then invalid_arg "Build.build_to_accuracy: empty schedule";
+  let sizes = List.sort_uniq compare sizes in
+  let rec go acc = function
+    | [] ->
+        let steps = List.rev acc in
+        { steps; final = List.hd acc }
+    | n :: rest ->
+        let trained =
+          train ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
+            ~rng ~space ~response ~n ()
+        in
+        let test_error =
+          Predictor.errors_on trained.predictor ~points:test_points
+            ~actual:test_responses
+        in
+        let step = { size = n; trained; test_error } in
+        if test_error.Stats.Error_metrics.mean_pct <= target_mean_pct then
+          { steps = List.rev (step :: acc); final = step }
+        else go (step :: acc) rest
+  in
+  go [] sizes

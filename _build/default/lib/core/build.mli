@@ -1,0 +1,64 @@
+(** BuildRBFmodel — the paper's model-construction procedure (section 1).
+
+    One {!train} call performs steps 2–4 for a fixed sample size: draw the
+    best-of-N latin hypercube sample, obtain responses (simulate), tune
+    (p_min, alpha) and select RBF centers by AICc, and fit the weights.
+    {!build_to_accuracy} is the full iterative procedure (steps 2–6):
+    train at increasing sample sizes, estimating accuracy after each on an
+    independent random test set, until the target accuracy is reached or
+    the size schedule is exhausted. *)
+
+type trained = {
+  predictor : Predictor.t;
+  sample : Archpred_design.Space.point array;
+  sample_responses : float array;
+  discrepancy : float;  (** L2-star discrepancy of the chosen sample *)
+  criterion : float;  (** AICc of the selected model *)
+  tune : Tune.result;
+}
+
+val train :
+  ?criterion:Archpred_rbf.Criteria.t ->
+  ?p_min_grid:int list ->
+  ?alpha_grid:float list ->
+  ?lhs_candidates:int ->
+  ?domains:int ->
+  rng:Archpred_stats.Rng.t ->
+  space:Archpred_design.Space.t ->
+  response:Response.t ->
+  n:int ->
+  unit ->
+  trained
+(** Train a model on an [n]-point sample of [space].  [lhs_candidates]
+    (default 100) latin hypercube samples are scored by L2-star
+    discrepancy and the best is simulated. *)
+
+type step = {
+  size : int;
+  trained : trained;
+  test_error : Archpred_stats.Error_metrics.t;
+}
+
+type history = {
+  steps : step list;  (** in increasing-size order *)
+  final : step;  (** the last (or first sufficiently accurate) step *)
+}
+
+val build_to_accuracy :
+  ?criterion:Archpred_rbf.Criteria.t ->
+  ?p_min_grid:int list ->
+  ?alpha_grid:float list ->
+  ?lhs_candidates:int ->
+  ?domains:int ->
+  rng:Archpred_stats.Rng.t ->
+  space:Archpred_design.Space.t ->
+  response:Response.t ->
+  sizes:int list ->
+  test_points:Archpred_design.Space.point array ->
+  test_responses:float array ->
+  target_mean_pct:float ->
+  unit ->
+  history
+(** Run the procedure over the ascending [sizes] schedule, stopping early
+    once the mean test error falls at or below [target_mean_pct] percent.
+    Raises [Invalid_argument] on an empty size schedule. *)

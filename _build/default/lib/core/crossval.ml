@@ -1,0 +1,59 @@
+module Sampling = Archpred_stats.Sampling
+module Tree = Archpred_regtree.Tree
+module Rbf = Archpred_rbf
+
+type result = {
+  fold_errors : float array;
+  mean_pct : float;
+  residuals : float array;
+}
+
+let k_fold ?(k = 5) ~rng ~train ~points ~responses () =
+  let n = Array.length points in
+  if n < k then invalid_arg "Crossval.k_fold: fewer points than folds";
+  if Array.length responses <> n then
+    invalid_arg "Crossval.k_fold: points/responses mismatch";
+  Array.iter
+    (fun y -> if y = 0. then invalid_arg "Crossval.k_fold: zero response")
+    responses;
+  let order = Sampling.permutation rng n in
+  let fold_of = Array.make n 0 in
+  Array.iteri (fun rank i -> fold_of.(i) <- rank mod k) order;
+  let residuals = Array.make n 0. in
+  let fold_errors =
+    Array.init k (fun fold ->
+        let train_idx =
+          Array.of_list
+            (List.filter (fun i -> fold_of.(i) <> fold) (List.init n Fun.id))
+        in
+        let held_out =
+          List.filter (fun i -> fold_of.(i) = fold) (List.init n Fun.id)
+        in
+        let predict =
+          train
+            ~points:(Array.map (fun i -> points.(i)) train_idx)
+            ~responses:(Array.map (fun i -> responses.(i)) train_idx)
+        in
+        let errs =
+          List.map
+            (fun i ->
+              let p = predict points.(i) in
+              residuals.(i) <- p -. responses.(i);
+              100. *. abs_float (p -. responses.(i)) /. abs_float responses.(i))
+            held_out
+        in
+        Archpred_stats.Descriptive.mean (Array.of_list errs))
+  in
+  {
+    fold_errors;
+    mean_pct = Archpred_stats.Descriptive.mean fold_errors;
+    residuals;
+  }
+
+let rbf_trainer ?(p_min = 1) ?(alpha = 7.) ~dim () ~points ~responses =
+  let tree = Tree.build ~p_min ~dim ~points ~responses () in
+  let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
+  let selection =
+    Rbf.Selection.select ~tree ~candidates ~points ~responses ()
+  in
+  Rbf.Network.eval selection.Rbf.Selection.network

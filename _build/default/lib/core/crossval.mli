@@ -1,0 +1,43 @@
+(** K-fold cross-validation of trained models.
+
+    Estimates out-of-sample accuracy from the training sample alone —
+    useful when extra simulations for a test set are too expensive, and
+    the machinery behind {!Adaptive} sampling's refinement criterion. *)
+
+type result = {
+  fold_errors : float array;  (** mean absolute percentage error per fold *)
+  mean_pct : float;  (** average over folds *)
+  residuals : float array;  (** per-point held-out residuals, in sample
+                                order: prediction minus actual *)
+}
+
+val k_fold :
+  ?k:int ->
+  rng:Archpred_stats.Rng.t ->
+  train:
+    (points:Archpred_design.Space.point array ->
+     responses:float array ->
+     Archpred_design.Space.point ->
+     float) ->
+  points:Archpred_design.Space.point array ->
+  responses:float array ->
+  unit ->
+  result
+(** [k_fold ~train ~points ~responses ()] shuffles the sample into [k]
+    (default 5) folds; for each fold, [train] fits on the remaining points
+    and predicts the held-out ones.  [train ~points ~responses] returns the
+    prediction function of a model fitted to that subsample.  Raises
+    [Invalid_argument] if the sample has fewer than [k] points or
+    responses contain zeros (percentage errors are undefined). *)
+
+val rbf_trainer :
+  ?p_min:int ->
+  ?alpha:float ->
+  dim:int ->
+  unit ->
+  points:Archpred_design.Space.point array ->
+  responses:float array ->
+  Archpred_design.Space.point ->
+  float
+(** A ready-made trainer for {!k_fold}: regression tree + RBF selection
+    with fixed method parameters (defaults p_min 1, alpha 7). *)

@@ -1,0 +1,144 @@
+module Design = Archpred_design
+module Network = Archpred_rbf.Network
+
+let magic = "archpred-model"
+let version = 1
+
+let levels_to_string = function
+  | Design.Parameter.Fixed l -> string_of_int l
+  | Design.Parameter.Per_sample -> "S"
+
+let levels_of_string s =
+  if s = "S" then Design.Parameter.Per_sample
+  else Design.Parameter.Fixed (int_of_string s)
+
+let to_string (p : Predictor.t) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "%s %d" magic version;
+  let params = Design.Space.parameters p.Predictor.space in
+  add "space %d" (Array.length params);
+  Array.iter
+    (fun (q : Design.Parameter.t) ->
+      add "param %s %.17g %.17g %s %s %s" q.name q.lo q.hi
+        (levels_to_string q.levels)
+        (Design.Transform.to_string q.transform)
+        (if q.integer then "int" else "float"))
+    params;
+  add "p_min %d" p.Predictor.p_min;
+  add "alpha %.17g" p.Predictor.alpha;
+  let centers = p.Predictor.network.Network.centers in
+  let weights = p.Predictor.network.Network.weights in
+  let dim = Array.length params in
+  add "centers %d %d" (Array.length centers) dim;
+  Array.iteri
+    (fun j (c : Network.center) ->
+      let floats xs =
+        String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.17g") xs))
+      in
+      add "center %s %s %.17g" (floats c.Network.c) (floats c.Network.r)
+        weights.(j))
+    centers;
+  Buffer.contents buf
+
+let save p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+exception Parse of int * string
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> Array.of_list
+  in
+  let fail i msg = raise (Parse (i + 1, msg)) in
+  let words i =
+    if i >= Array.length lines then fail i "unexpected end of file"
+    else String.split_on_char ' ' (String.trim lines.(i))
+         |> List.filter (fun w -> w <> "")
+  in
+  let float_of i s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail i ("bad float " ^ s)
+  in
+  let int_of i s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail i ("bad int " ^ s)
+  in
+  try
+    (match words 0 with
+    | [ m; v ] when m = magic ->
+        if int_of 0 v <> version then fail 0 "unsupported version"
+    | _ -> fail 0 "not an archpred model file");
+    let dim =
+      match words 1 with
+      | [ "space"; d ] -> int_of 1 d
+      | _ -> fail 1 "expected: space <dim>"
+    in
+    let params =
+      List.init dim (fun k ->
+          let i = 2 + k in
+          match words i with
+          | [ "param"; name; lo; hi; levels; transform; integer ] ->
+              let transform =
+                match Design.Transform.of_string transform with
+                | Some t -> t
+                | None -> fail i ("bad transform " ^ transform)
+              in
+              Design.Parameter.make name ~lo:(float_of i lo)
+                ~hi:(float_of i hi) ~levels:(levels_of_string levels)
+                ~transform
+                ~integer:(integer = "int")
+          | _ -> fail i "expected: param <name> <lo> <hi> <levels> <tr> <int>")
+    in
+    let space = Design.Space.create params in
+    let p_min =
+      match words (2 + dim) with
+      | [ "p_min"; v ] -> int_of (2 + dim) v
+      | _ -> fail (2 + dim) "expected: p_min <int>"
+    in
+    let alpha =
+      match words (3 + dim) with
+      | [ "alpha"; v ] -> float_of (3 + dim) v
+      | _ -> fail (3 + dim) "expected: alpha <float>"
+    in
+    let m, cdim =
+      match words (4 + dim) with
+      | [ "centers"; m; d ] -> (int_of (4 + dim) m, int_of (4 + dim) d)
+      | _ -> fail (4 + dim) "expected: centers <m> <dim>"
+    in
+    if cdim <> dim then fail (4 + dim) "center dimension mismatch";
+    let centers = ref [] and weights = ref [] in
+    for j = 0 to m - 1 do
+      let i = 5 + dim + j in
+      match words i with
+      | "center" :: rest when List.length rest = (2 * dim) + 1 ->
+          let values = Array.of_list (List.map (float_of i) rest) in
+          let c = Array.sub values 0 dim in
+          let r = Array.sub values dim dim in
+          centers := { Network.c; r } :: !centers;
+          weights := values.((2 * dim)) :: !weights
+      | _ -> fail i "expected: center <c..> <r..> <w>"
+    done;
+    let network =
+      {
+        Network.centers = Array.of_list (List.rev !centers);
+        weights = Array.of_list (List.rev !weights);
+      }
+    in
+    Array.iter Network.check_center network.Network.centers;
+    { Predictor.space; network; tree = None; p_min; alpha }
+  with Parse (line, msg) ->
+    failwith (Printf.sprintf "Persist.of_string: line %d: %s" line msg)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,30 @@
+(** Saving and loading trained predictors.
+
+    A fitted RBF model is tiny (tens of centers over nine dimensions), so
+    it travels as a line-oriented, human-readable text file:
+
+    {v archpred-model 1
+       space 9
+       param pipe_depth 24 7 18 linear int
+       ...
+       p_min 1
+       alpha 7
+       centers 2 9
+       center <c_1..c_9> <r_1..r_9> <weight>
+       ... v}
+
+    A model trained once from hundreds of simulations can then serve CPI
+    queries in other processes (see the CLI's [train --save] /
+    [predict]).  Loaded predictors carry no regression tree
+    ([Predictor.tree = None]). *)
+
+val save : Predictor.t -> string -> unit
+(** [save predictor path] writes the model. Raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> Predictor.t
+(** Read a model back.  Raises [Failure] with a line-numbered message on a
+    malformed file and [Sys_error] on I/O failure. *)
+
+val to_string : Predictor.t -> string
+val of_string : string -> Predictor.t

@@ -1,0 +1,22 @@
+module Space = Archpred_design.Space
+module Network = Archpred_rbf.Network
+module Error_metrics = Archpred_stats.Error_metrics
+
+type t = {
+  space : Space.t;
+  network : Network.t;
+  tree : Archpred_regtree.Tree.t option;
+  p_min : int;
+  alpha : float;
+}
+
+let predict t point =
+  Space.validate_point t.space point;
+  Network.eval t.network point
+
+let predict_natural t values = predict t (Space.encode t.space values)
+let n_centers t = Array.length t.network.Network.centers
+
+let errors_on t ~points ~actual =
+  let predicted = Array.map (predict t) points in
+  Error_metrics.evaluate ~actual ~predicted

@@ -1,0 +1,31 @@
+(** A trained performance predictor.
+
+    Wraps a fitted RBF network together with the design space it was
+    trained over, so callers can predict from natural parameter values as
+    well as normalised points. *)
+
+type t = {
+  space : Archpred_design.Space.t;
+  network : Archpred_rbf.Network.t;
+  tree : Archpred_regtree.Tree.t option;
+      (** the regression tree behind the centers, kept for split analyses;
+          [None] for models loaded from disk ({!Persist}) *)
+  p_min : int;
+  alpha : float;
+}
+
+val predict : t -> Archpred_design.Space.point -> float
+(** Predicted response (CPI) at a normalised design point. *)
+
+val predict_natural : t -> float array -> float
+(** Predict from natural parameter values (encoded through the space). *)
+
+val n_centers : t -> int
+
+val errors_on :
+  t ->
+  points:Archpred_design.Space.point array ->
+  actual:float array ->
+  Archpred_stats.Error_metrics.t
+(** Prediction-error metrics against reference responses — the mean /
+    std / max percentage errors the paper reports. *)

@@ -1,0 +1,88 @@
+module Space = Archpred_design.Space
+module Parallel = Archpred_stats.Parallel
+
+type t = { name : string; eval : Space.point -> float }
+
+(* Memo key: the exact bit pattern of the coordinates. *)
+let key_of_point (p : Space.point) =
+  Array.fold_left
+    (fun acc x -> (acc * 1000003) lxor Int64.to_int (Int64.bits_of_float x))
+    0 p
+
+(* The cache is shared across domains during [evaluate_many]; a mutex
+   guards table accesses.  Concurrent misses of the same point may simulate
+   twice — harmless, since simulation is deterministic. *)
+let memoized name f =
+  let cache : (int * Space.point, float) Hashtbl.t = Hashtbl.create 256 in
+  let lock = Mutex.create () in
+  let with_lock g =
+    Mutex.lock lock;
+    let v = g () in
+    Mutex.unlock lock;
+    v
+  in
+  let eval p =
+    let k = (key_of_point p, p) in
+    match with_lock (fun () -> Hashtbl.find_opt cache k) with
+    | Some v -> v
+    | None ->
+        let v = f p in
+        with_lock (fun () -> Hashtbl.replace cache k v);
+        v
+  in
+  { name; eval }
+
+type metric = Cpi | Energy_per_instruction | Energy_delay_product
+
+let metric_to_string = function
+  | Cpi -> "cpi"
+  | Energy_per_instruction -> "epi"
+  | Energy_delay_product -> "edp"
+
+let simulator_metric ?(trace_length = 100_000) ?(seed = 42) ~metric
+    (profile : Archpred_workloads.Profile.t) =
+  let trace =
+    Archpred_workloads.Generator.generate ~seed profile ~length:trace_length
+  in
+  let raw p =
+    let result = Archpred_sim.Processor.run (Paper_space.to_config p) trace in
+    match metric with
+    | Cpi -> result.Archpred_sim.Processor.cpi
+    | Energy_per_instruction ->
+        (Archpred_sim.Power.estimate (Paper_space.to_config p) result)
+          .Archpred_sim.Power.energy_per_instruction
+    | Energy_delay_product ->
+        (Archpred_sim.Power.estimate (Paper_space.to_config p) result)
+          .Archpred_sim.Power.energy_delay_product
+  in
+  memoized (profile.name ^ ":" ^ metric_to_string metric) raw
+
+let simulator ?trace_length ?seed profile =
+  simulator_metric ?trace_length ?seed ~metric:Cpi profile
+
+let evaluate_many ?domains t points = Parallel.map ?domains t.eval points
+
+let synthetic_smooth ~dim =
+  {
+    name = "synthetic-smooth";
+    eval =
+      (fun x ->
+        if Array.length x <> dim then invalid_arg "synthetic_smooth: arity";
+        let a = x.(0) and b = if dim > 1 then x.(1) else 0.5 in
+        let c = if dim > 2 then x.(2) else 0.5 in
+        1.
+        +. exp (-2. *. a)
+        +. (0.8 *. b *. b)
+        +. (0.5 *. sin (3. *. c))
+        +. (0.6 *. a *. b));
+  }
+
+let synthetic_cliff ~dim =
+  {
+    name = "synthetic-cliff";
+    eval =
+      (fun x ->
+        if Array.length x <> dim then invalid_arg "synthetic_cliff: arity";
+        let base = 1. +. (0.3 *. x.(min 1 (dim - 1))) in
+        if x.(0) < 0.35 then base +. 2.5 else base);
+  }

@@ -1,0 +1,52 @@
+(** Response functions: the black box that maps a design point to CPI.
+
+    Model construction only ever sees a function from normalised design
+    points to a scalar response.  The production instance runs the
+    cycle-level simulator on a fixed benchmark trace (step 3 of the
+    paper's procedure); synthetic instances provide cheap, closed-form
+    surfaces for tests and ablations. *)
+
+type t = {
+  name : string;
+  eval : Archpred_design.Space.point -> float;
+}
+
+val simulator :
+  ?trace_length:int ->
+  ?seed:int ->
+  Archpred_workloads.Profile.t ->
+  t
+(** CPI of the benchmark's synthetic trace, simulated at the decoded
+    configuration of each design point.  The trace is generated once
+    (default 100_000 instructions) and reused at every design point, as a
+    trace-driven simulator would.  Results are memoised per point. *)
+
+type metric = Cpi | Energy_per_instruction | Energy_delay_product
+(** Simulated response metrics.  The paper's conclusion points at power as
+    the next metric to model; {!Archpred_sim.Power} supplies the energy
+    accounting. *)
+
+val metric_to_string : metric -> string
+
+val simulator_metric :
+  ?trace_length:int ->
+  ?seed:int ->
+  metric:metric ->
+  Archpred_workloads.Profile.t ->
+  t
+(** Like {!simulator} but for any supported metric ([~metric:Cpi] is
+    equivalent to {!simulator}). *)
+
+val evaluate_many :
+  ?domains:int -> t -> Archpred_design.Space.point array -> float array
+(** Evaluate a batch of points, in parallel across domains when the
+    response is simulator-backed (it is pure).  Memoised points are not
+    re-simulated. *)
+
+val synthetic_smooth : dim:int -> t
+(** A smooth non-linear surface with interactions: exercises the whole
+    modelling stack in milliseconds.  Positive everywhere. *)
+
+val synthetic_cliff : dim:int -> t
+(** A surface with a sharp response change along dimension 0 — the shape
+    linear models cannot capture. *)

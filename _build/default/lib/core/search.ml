@@ -1,0 +1,54 @@
+module Design = Archpred_design
+module Rng = Archpred_stats.Rng
+
+type result = {
+  point : Design.Space.point;
+  predicted : float;
+  evaluations : int;
+}
+
+let minimize ?(scan = 2000) ?(refine_iters = 50) ?constraint_ ~rng ~predictor
+    () =
+  let space = predictor.Predictor.space in
+  let dim = Design.Space.dimension space in
+  let feasible p = match constraint_ with None -> true | Some f -> f p in
+  let evals = ref 0 in
+  let value p =
+    incr evals;
+    Predictor.predict predictor p
+  in
+  let best = ref None in
+  for _ = 1 to scan do
+    let p = Array.init dim (fun _ -> Rng.unit_float rng) in
+    if feasible p then begin
+      let v = value p in
+      match !best with
+      | Some (_, bv) when bv <= v -> ()
+      | Some _ | None -> best := Some (p, v)
+    end
+  done;
+  match !best with
+  | None -> invalid_arg "Search.minimize: no feasible point found in scan"
+  | Some (p0, v0) ->
+      let point = Array.copy p0 in
+      let best_v = ref v0 in
+      let step = ref 0.25 in
+      for _ = 1 to refine_iters do
+        for k = 0 to dim - 1 do
+          let try_coord u =
+            if u >= 0. && u <= 1. then begin
+              let saved = point.(k) in
+              point.(k) <- u;
+              if feasible point then begin
+                let v = value point in
+                if v < !best_v then best_v := v else point.(k) <- saved
+              end
+              else point.(k) <- saved
+            end
+          in
+          try_coord (point.(k) +. !step);
+          try_coord (point.(k) -. !step)
+        done;
+        step := !step *. 0.7
+      done;
+      { point; predicted = !best_v; evaluations = !evals }

@@ -1,0 +1,28 @@
+(** Design-space search driven by a trained model.
+
+    The paper's motivating use case: once a model predicts CPI accurately,
+    "searches for optimal processor design points" can run against the
+    model instead of the simulator.  The search combines a broad random
+    scan with coordinate-descent refinement; an optional constraint
+    predicate restricts the feasible region (e.g. a cost budget over cache
+    sizes). *)
+
+type result = {
+  point : Archpred_design.Space.point;
+  predicted : float;
+  evaluations : int;  (** model evaluations spent *)
+}
+
+val minimize :
+  ?scan:int ->
+  ?refine_iters:int ->
+  ?constraint_:(Archpred_design.Space.point -> bool) ->
+  rng:Archpred_stats.Rng.t ->
+  predictor:Predictor.t ->
+  unit ->
+  result
+(** Find the design point with the lowest predicted response: [scan]
+    (default 2000) random feasible points, then [refine_iters] (default 50)
+    rounds of per-dimension golden-section-style refinement around the
+    incumbent.  Raises [Invalid_argument] if no scanned point satisfies
+    the constraint. *)

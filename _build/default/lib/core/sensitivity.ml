@@ -1,0 +1,78 @@
+module Design = Archpred_design
+module Rng = Archpred_stats.Rng
+
+type effect = { name : string; dim : int; magnitude : float }
+
+let names predictor =
+  Array.map
+    (fun (p : Design.Parameter.t) -> p.Design.Parameter.name)
+    (Design.Space.parameters predictor.Predictor.space)
+
+let sort_effects effects =
+  List.sort (fun a b -> compare b.magnitude a.magnitude) effects
+
+let main_effects ?(steps = 9) predictor =
+  let dim = Design.Space.dimension predictor.Predictor.space in
+  let names = names predictor in
+  let base = Array.make dim 0.5 in
+  List.init dim (fun k ->
+      let values =
+        Array.init steps (fun i ->
+            let p = Array.copy base in
+            p.(k) <- float_of_int i /. float_of_int (steps - 1);
+            Predictor.predict predictor p)
+      in
+      let lo = Array.fold_left Float.min values.(0) values in
+      let hi = Array.fold_left Float.max values.(0) values in
+      { name = names.(k); dim = k; magnitude = hi -. lo })
+  |> sort_effects
+
+let total_effects ?(samples = 512) ~rng predictor =
+  let dim = Design.Space.dimension predictor.Predictor.space in
+  let names = names predictor in
+  let acc = Array.make dim 0. in
+  for _ = 1 to samples do
+    let p = Array.init dim (fun _ -> Rng.unit_float rng) in
+    let y = Predictor.predict predictor p in
+    for k = 0 to dim - 1 do
+      let saved = p.(k) in
+      p.(k) <- Rng.unit_float rng;
+      let y' = Predictor.predict predictor p in
+      p.(k) <- saved;
+      let d = y' -. y in
+      acc.(k) <- acc.(k) +. (d *. d)
+    done
+  done;
+  List.init dim (fun k ->
+      {
+        name = names.(k);
+        dim = k;
+        magnitude = sqrt (acc.(k) /. float_of_int samples);
+      })
+  |> sort_effects
+
+let interaction predictor ~dim1 ~dim2 =
+  let dim = Design.Space.dimension predictor.Predictor.space in
+  if dim1 = dim2 || dim1 < 0 || dim2 < 0 || dim1 >= dim || dim2 >= dim then
+    invalid_arg "Sensitivity.interaction: bad dimensions";
+  let at u1 u2 =
+    let p = Array.make dim 0.5 in
+    p.(dim1) <- u1;
+    p.(dim2) <- u2;
+    Predictor.predict predictor p
+  in
+  abs_float (at 1. 1. -. at 1. 0. -. at 0. 1. +. at 0. 0.)
+
+let top_interactions ?(count = 10) predictor =
+  let dim = Design.Space.dimension predictor.Predictor.space in
+  let names = names predictor in
+  let pairs = ref [] in
+  for j = 0 to dim - 1 do
+    for k = j + 1 to dim - 1 do
+      pairs :=
+        (names.(j), names.(k), interaction predictor ~dim1:j ~dim2:k) :: !pairs
+    done
+  done;
+  !pairs
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < count)

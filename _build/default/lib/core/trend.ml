@@ -1,0 +1,31 @@
+module Design = Archpred_design
+
+type series = {
+  dim1_value : float;
+  dim2_values : float array;
+  predicted : float array;
+  simulated : float array option;
+}
+
+let sweep ?simulate ?domains ~predictor ~base ~dim1 ~steps1 ~dim2 ~steps2 () =
+  let space = predictor.Predictor.space in
+  let grid = Design.Grid.sweep2 space ~base ~dim1 ~steps1 ~dim2 ~steps2 in
+  let flat = Array.concat (Array.to_list grid) in
+  let simulated_flat =
+    Option.map (fun r -> Response.evaluate_many ?domains r flat) simulate
+  in
+  Array.mapi
+    (fun i row ->
+      let p1 = Design.Space.parameter space dim1 in
+      let p2 = Design.Space.parameter space dim2 in
+      {
+        dim1_value = Design.Parameter.decode p1 row.(0).(dim1);
+        dim2_values =
+          Array.map (fun pt -> Design.Parameter.decode p2 pt.(dim2)) row;
+        predicted = Array.map (Predictor.predict predictor) row;
+        simulated =
+          Option.map
+            (fun s -> Array.sub s (i * steps2) steps2)
+            simulated_flat;
+      })
+    grid

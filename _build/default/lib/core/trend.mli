@@ -1,0 +1,29 @@
+(** Two-factor trend analysis (section 4.1 / Figure 6 of the paper).
+
+    Sweeps two parameters over a grid while the rest stay fixed, returning
+    both the model's predictions and (optionally) simulated references, so
+    the caller can check that the model reproduces the interaction — the
+    paper's example is instruction-cache size against L2 latency for
+    vortex. *)
+
+type series = {
+  dim1_value : float;  (** natural value of the first (outer) parameter *)
+  dim2_values : float array;  (** natural values of the second parameter *)
+  predicted : float array;
+  simulated : float array option;
+}
+
+val sweep :
+  ?simulate:Response.t ->
+  ?domains:int ->
+  predictor:Predictor.t ->
+  base:Archpred_design.Space.point ->
+  dim1:int ->
+  steps1:int ->
+  dim2:int ->
+  steps2:int ->
+  unit ->
+  series array
+(** One series per setting of [dim1]; within a series, [dim2] varies.
+    When [simulate] is given, reference responses are obtained for every
+    grid point (in parallel). *)

@@ -1,0 +1,37 @@
+module Tree = Archpred_regtree.Tree
+module Rbf = Archpred_rbf
+
+type result = {
+  p_min : int;
+  alpha : float;
+  criterion : float;
+  tree : Tree.t;
+  selection : Rbf.Selection.result;
+}
+
+let default_p_min_grid = [ 1; 2; 3 ]
+let default_alpha_grid = [ 3.; 5.; 7.; 9.; 12. ]
+
+let tune ?(criterion = Rbf.Criteria.Aicc) ?(p_min_grid = default_p_min_grid)
+    ?(alpha_grid = default_alpha_grid) ~dim ~points ~responses () =
+  if p_min_grid = [] || alpha_grid = [] then
+    invalid_arg "Tune.tune: empty grid";
+  let best = ref None in
+  List.iter
+    (fun p_min ->
+      let tree = Tree.build ~p_min ~dim ~points ~responses () in
+      List.iter
+        (fun alpha ->
+          let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
+          let selection =
+            Rbf.Selection.select ~criterion ~tree ~candidates ~points
+              ~responses ()
+          in
+          let value = selection.Rbf.Selection.criterion in
+          match !best with
+          | Some b when b.criterion <= value -> ()
+          | Some _ | None ->
+              best := Some { p_min; alpha; criterion = value; tree; selection })
+        alpha_grid)
+    p_min_grid;
+  match !best with Some b -> b | None -> assert false

@@ -1,0 +1,33 @@
+(** Method-parameter tuning (section 2.6 of the paper).
+
+    The regression-tree/RBF construction has two method parameters: the
+    leaf size [p_min] and the radius scale [alpha] (eq. 8).  "We determined
+    optimal p_min and alpha for each benchmark by choosing the values which
+    resulted in the lowest AICc."  This module grid-searches both. *)
+
+type result = {
+  p_min : int;
+  alpha : float;
+  criterion : float;  (** best criterion value found *)
+  tree : Archpred_regtree.Tree.t;
+  selection : Archpred_rbf.Selection.result;
+}
+
+val default_p_min_grid : int list
+(** [\[1; 2; 3\]] — Table 4 finds the best value is 1 or 2. *)
+
+val default_alpha_grid : float list
+(** [\[3.; 5.; 7.; 9.; 12.\]] — the paper reports best radii of 5–12 times
+    the region size. *)
+
+val tune :
+  ?criterion:Archpred_rbf.Criteria.t ->
+  ?p_min_grid:int list ->
+  ?alpha_grid:float list ->
+  dim:int ->
+  points:float array array ->
+  responses:float array ->
+  unit ->
+  result
+(** Build a tree per [p_min], run center selection per [alpha], and return
+    the combination minimising the criterion. *)

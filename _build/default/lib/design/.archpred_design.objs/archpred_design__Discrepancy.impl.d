@@ -1,0 +1,1 @@
+lib/design/discrepancy.ml: Array Float

@@ -1,0 +1,1 @@
+lib/design/discrepancy.mli: Space

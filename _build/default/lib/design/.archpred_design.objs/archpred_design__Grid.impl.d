@@ -1,0 +1,1 @@
+lib/design/grid.ml: Array Space

@@ -1,0 +1,1 @@
+lib/design/grid.mli: Space

@@ -1,0 +1,1 @@
+lib/design/lhs.ml: Archpred_stats Array Parameter Space

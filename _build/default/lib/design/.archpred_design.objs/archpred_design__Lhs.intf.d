@@ -1,0 +1,1 @@
+lib/design/lhs.mli: Archpred_stats Space

@@ -1,0 +1,1 @@
+lib/design/optimize.ml: Discrepancy Lhs List Space

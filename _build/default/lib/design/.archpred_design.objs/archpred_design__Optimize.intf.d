@@ -1,0 +1,1 @@
+lib/design/optimize.mli: Archpred_stats Discrepancy Space

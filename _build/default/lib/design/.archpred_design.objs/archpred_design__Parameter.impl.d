@@ -1,0 +1,1 @@
+lib/design/parameter.ml: Array Float Format Transform

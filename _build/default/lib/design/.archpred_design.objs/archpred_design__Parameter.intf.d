@@ -1,0 +1,1 @@
+lib/design/parameter.mli: Format Transform

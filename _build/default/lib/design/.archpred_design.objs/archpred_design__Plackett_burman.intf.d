@@ -1,0 +1,1 @@
+lib/design/plackett_burman.mli: Space

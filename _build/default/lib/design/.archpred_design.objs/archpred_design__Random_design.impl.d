@@ -1,0 +1,1 @@
+lib/design/random_design.ml: Archpred_stats Array Space

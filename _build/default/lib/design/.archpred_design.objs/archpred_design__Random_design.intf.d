@@ -1,0 +1,1 @@
+lib/design/random_design.mli: Archpred_stats Space

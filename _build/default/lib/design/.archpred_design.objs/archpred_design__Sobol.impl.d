@@ -1,0 +1,1 @@
+lib/design/sobol.ml: Array Space

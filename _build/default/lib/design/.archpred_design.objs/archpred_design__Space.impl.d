@@ -1,0 +1,1 @@
+lib/design/space.ml: Array Format Hashtbl Parameter

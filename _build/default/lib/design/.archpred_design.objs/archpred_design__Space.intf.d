@@ -1,0 +1,1 @@
+lib/design/space.mli: Format Parameter

@@ -1,0 +1,76 @@
+let check points =
+  if Array.length points = 0 then invalid_arg "Discrepancy: empty sample";
+  Array.length points.(0)
+
+(* Warnock's closed form:
+   D2*^2 = 3^-d
+         - (2^(1-d) / n)   sum_i prod_k (1 - x_ik^2)
+         + (1 / n^2)       sum_{i,j} prod_k (1 - max(x_ik, x_jk)) *)
+let l2_star points =
+  let d = check points in
+  let n = Array.length points in
+  let nf = float_of_int n in
+  let term1 = 3. ** float_of_int (-d) in
+  let sum2 = ref 0. in
+  Array.iter
+    (fun x ->
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        prod := !prod *. (1. -. (x.(k) *. x.(k)))
+      done;
+      sum2 := !sum2 +. !prod)
+    points;
+  let term2 = 2. ** float_of_int (1 - d) /. nf *. !sum2 in
+  let sum3 = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        prod := !prod *. (1. -. Float.max points.(i).(k) points.(j).(k))
+      done;
+      sum3 := !sum3 +. !prod
+    done
+  done;
+  let term3 = !sum3 /. (nf *. nf) in
+  sqrt (Float.max 0. (term1 -. term2 +. term3))
+
+(* Hickernell's centered L2 discrepancy:
+   CD^2 = (13/12)^d
+        - (2/n)   sum_i prod_k (1 + |z_ik|/2 - z_ik^2/2)
+        + (1/n^2) sum_{i,j} prod_k (1 + |z_ik|/2 + |z_jk|/2 - |x_ik - x_jk|/2)
+   where z_ik = x_ik - 1/2. *)
+let centered_l2 points =
+  let d = check points in
+  let n = Array.length points in
+  let nf = float_of_int n in
+  let term1 = (13. /. 12.) ** float_of_int d in
+  let sum2 = ref 0. in
+  Array.iter
+    (fun x ->
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        let z = abs_float (x.(k) -. 0.5) in
+        prod := !prod *. (1. +. (0.5 *. z) -. (0.5 *. z *. z))
+      done;
+      sum2 := !sum2 +. !prod)
+    points;
+  let term2 = 2. /. nf *. !sum2 in
+  let sum3 = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        let zi = abs_float (points.(i).(k) -. 0.5) in
+        let zj = abs_float (points.(j).(k) -. 0.5) in
+        let dij = abs_float (points.(i).(k) -. points.(j).(k)) in
+        prod := !prod *. (1. +. (0.5 *. zi) +. (0.5 *. zj) -. (0.5 *. dij))
+      done;
+      sum3 := !sum3 +. !prod
+    done
+  done;
+  let term3 = !sum3 /. (nf *. nf) in
+  sqrt (Float.max 0. (term1 -. term2 +. term3))
+
+type kind = Star | Centered
+
+let compute = function Star -> l2_star | Centered -> centered_l2

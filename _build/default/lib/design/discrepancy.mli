@@ -1,0 +1,24 @@
+(** L2 discrepancies: space-filling quality of a sample.
+
+    A discrepancy measures how far a point set deviates from the uniform
+    distribution over the unit cube; lower is better.  The paper selects,
+    among many candidate latin hypercube samples, the one with the lowest
+    "L2-star discrepancy ... analytically derived in Hickernell" (section
+    2.2, Figure 2).  Both closed forms below are exact O(d n^2) formulas:
+
+    - {!l2_star}: the classical star discrepancy in the L2 norm
+      (Warnock's formula);
+    - {!centered_l2}: Hickernell's centered L2 discrepancy, which is
+      invariant under reflections [u -> 1 - u] of any coordinate. *)
+
+val l2_star : Space.point array -> float
+(** Warnock's L2-star discrepancy of a sample in the unit cube.
+    Raises [Invalid_argument] on an empty sample. *)
+
+val centered_l2 : Space.point array -> float
+(** Hickernell's centered L2 discrepancy. Raises [Invalid_argument] on an
+    empty sample. *)
+
+type kind = Star | Centered
+
+val compute : kind -> Space.point array -> float

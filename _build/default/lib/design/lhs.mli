@@ -1,0 +1,28 @@
+(** Latin hypercube sampling.
+
+    The paper's variant (section 2.2): a sample of [n] points is built so
+    that every parameter takes values covering all of its settings —
+    each dimension's coordinates are a stratified cover of that
+    parameter's level grid — and the per-dimension settings are combined by
+    independent random permutations.
+
+    With a parameter that has fewer levels than sample points (e.g. the
+    4-level L1 cache sizes of Table 1), strata wrap around the level grid so
+    every level appears equally often (±1). *)
+
+val sample :
+  Archpred_stats.Rng.t -> Space.t -> n:int -> Space.point array
+(** [sample rng space ~n] draws an [n]-point latin hypercube over the
+    space's level grids. Requires [n >= 2]. *)
+
+val sample_continuous :
+  ?centered:bool -> Archpred_stats.Rng.t -> Space.t -> n:int -> Space.point array
+(** Classic continuous LHS over the unit cube, ignoring level grids: each
+    dimension is a random permutation of the [n] strata, with the point
+    placed uniformly within its stratum ([centered = true] places it at the
+    stratum midpoint; default [false]). Used by property tests and by the
+    discrepancy study. *)
+
+val is_latin : dim:int -> n:int -> Space.point array -> bool
+(** Check the latin property of a continuous sample: in every dimension,
+    each of the [n] strata contains exactly one point. *)

@@ -1,0 +1,26 @@
+type result = {
+  points : Space.point array;
+  discrepancy : float;
+  candidates : int;
+}
+
+let best_lhs ?(kind = Discrepancy.Star) ?(candidates = 100) rng space ~n =
+  if candidates < 1 then invalid_arg "Optimize.best_lhs: candidates < 1";
+  let best = ref None in
+  for _ = 1 to candidates do
+    let points = Lhs.sample rng space ~n in
+    let disc = Discrepancy.compute kind points in
+    match !best with
+    | Some (_, best_disc) when best_disc <= disc -> ()
+    | Some _ | None -> best := Some (points, disc)
+  done;
+  match !best with
+  | Some (points, discrepancy) -> { points; discrepancy; candidates }
+  | None -> assert false
+
+let discrepancy_curve ?kind ?candidates rng space ~sizes =
+  List.map
+    (fun n ->
+      let r = best_lhs ?kind ?candidates rng space ~n in
+      (n, r.discrepancy))
+    sizes

@@ -1,0 +1,32 @@
+(** Best-of-N sample selection by discrepancy.
+
+    Section 2.2: "we generate a large number of latin hypercube samples and
+    choose the one with the best L2-star discrepancy metric".  Figure 2 of
+    the paper plots the best discrepancy found against sample size; the
+    {!discrepancy_curve} helper regenerates that series. *)
+
+type result = {
+  points : Space.point array;
+  discrepancy : float;
+  candidates : int;  (** how many candidate samples were scored *)
+}
+
+val best_lhs :
+  ?kind:Discrepancy.kind ->
+  ?candidates:int ->
+  Archpred_stats.Rng.t ->
+  Space.t ->
+  n:int ->
+  result
+(** [best_lhs rng space ~n] draws [candidates] (default 100) latin
+    hypercube samples of size [n] and keeps the one with the lowest
+    discrepancy (default {!Discrepancy.Star}). *)
+
+val discrepancy_curve :
+  ?kind:Discrepancy.kind ->
+  ?candidates:int ->
+  Archpred_stats.Rng.t ->
+  Space.t ->
+  sizes:int list ->
+  (int * float) list
+(** Best discrepancy achieved at each sample size — the data of Figure 2. *)

@@ -1,0 +1,12 @@
+module Rng = Archpred_stats.Rng
+
+let sample rng space ~n =
+  if n < 1 then invalid_arg "Random_design.sample: n < 1";
+  let d = Space.dimension space in
+  Array.init n (fun _ -> Array.init d (fun _ -> Rng.unit_float rng))
+
+let sample_snapped rng space ~n =
+  Array.map (Space.snap space ~sample_size:n) (sample rng space ~n)
+
+let sample_in_box rng space ~n ~lo ~hi =
+  Array.map (Space.sub_box space ~lo ~hi) (sample rng space ~n)

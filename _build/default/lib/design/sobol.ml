@@ -1,0 +1,77 @@
+let max_dimension = 10
+let bits = 30
+
+(* Joe-Kuo direction-number seeds: (degree s, coefficient a, m_1..m_s) for
+   dimensions 2..10; dimension 1 is the van der Corput sequence. *)
+let seeds =
+  [|
+    (1, 0, [| 1 |]);
+    (2, 1, [| 1; 3 |]);
+    (3, 1, [| 1; 3; 1 |]);
+    (3, 2, [| 1; 1; 1 |]);
+    (4, 1, [| 1; 1; 3; 3 |]);
+    (4, 4, [| 1; 3; 5; 13 |]);
+    (5, 2, [| 1; 1; 5; 5; 17 |]);
+    (5, 4, [| 1; 1; 5; 5; 5 |]);
+    (5, 7, [| 1; 1; 7; 11; 19 |]);
+  |]
+
+(* Direction numbers v.(k).(j): dimension k, bit j, scaled to [bits] bits. *)
+let direction_numbers dim =
+  let v = Array.make_matrix dim bits 0 in
+  (* dimension 1: v_j = 2^(bits - j - 1) *)
+  for j = 0 to bits - 1 do
+    v.(0).(j) <- 1 lsl (bits - j - 1)
+  done;
+  for k = 1 to dim - 1 do
+    let s, a, m = seeds.(k - 1) in
+    for j = 0 to min s bits - 1 do
+      v.(k).(j) <- m.(j) lsl (bits - j - 1)
+    done;
+    for j = s to bits - 1 do
+      (* v_j = v_{j-s} xor (v_{j-s} >> s) xor sum of a's tap bits *)
+      let value = ref (v.(k).(j - s) lxor (v.(k).(j - s) lsr s)) in
+      for t = 1 to s - 1 do
+        if (a lsr (s - 1 - t)) land 1 = 1 then
+          value := !value lxor v.(k).(j - t)
+      done;
+      v.(k).(j) <- !value
+    done
+  done;
+  v
+
+let points ?(skip = 1) ~dim ~n () =
+  if dim < 1 || dim > max_dimension then
+    invalid_arg "Sobol.points: dim outside [1, 10]";
+  if n <= 0 then invalid_arg "Sobol.points: n <= 0";
+  if skip < 0 then invalid_arg "Sobol.points: negative skip";
+  let v = direction_numbers dim in
+  let x = Array.make dim 0 in
+  let scale = 1. /. float_of_int (1 lsl bits) in
+  let out = Array.init n (fun _ -> Array.make dim 0.) in
+  (* Gray-code stepping: index i flips the bit at the position of the
+     lowest zero bit of i. *)
+  let lowest_zero_bit i =
+    let rec go i j = if i land 1 = 0 then j else go (i lsr 1) (j + 1) in
+    go i 0
+  in
+  for i = 0 to skip + n - 1 do
+    if i >= skip then begin
+      let row = out.(i - skip) in
+      for k = 0 to dim - 1 do
+        row.(k) <- float_of_int x.(k) *. scale
+      done
+    end;
+    let c = lowest_zero_bit i in
+    if c < bits then
+      for k = 0 to dim - 1 do
+        x.(k) <- x.(k) lxor v.(k).(c)
+      done
+  done;
+  out
+
+let sample space ~n =
+  let dim = Space.dimension space in
+  if dim > max_dimension then
+    invalid_arg "Sobol.sample: space has too many dimensions";
+  points ~dim ~n ()

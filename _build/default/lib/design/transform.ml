@@ -1,0 +1,27 @@
+type t = Linear | Log
+
+let check_log lo hi =
+  if lo <= 0. || hi <= 0. then
+    invalid_arg "Transform: log transform needs positive endpoints"
+
+let apply t ~lo ~hi u =
+  match t with
+  | Linear -> lo +. (u *. (hi -. lo))
+  | Log ->
+      check_log lo hi;
+      exp (log lo +. (u *. (log hi -. log lo)))
+
+let invert t ~lo ~hi v =
+  match t with
+  | Linear ->
+      if hi = lo then 0. else (v -. lo) /. (hi -. lo)
+  | Log ->
+      check_log lo hi;
+      if hi = lo then 0. else (log v -. log lo) /. (log hi -. log lo)
+
+let to_string = function Linear -> "linear" | Log -> "log"
+
+let of_string = function
+  | "linear" -> Some Linear
+  | "log" -> Some Log
+  | _ -> None

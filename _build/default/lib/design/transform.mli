@@ -1,0 +1,23 @@
+(** Parameter transformations.
+
+    Table 1 of the paper assigns each design parameter a transformation:
+    cache sizes vary on a log scale (256KB..8MB in powers of two behave
+    multiplicatively) while latencies and queue sizes vary linearly.  A
+    transformation fixes how the normalised coordinate [u] in [0, 1] maps to
+    the natural units of a parameter. *)
+
+type t = Linear | Log
+
+val apply : t -> lo:float -> hi:float -> float -> float
+(** [apply tr ~lo ~hi u] maps [u] in [\[0, 1\]] to the natural range:
+    [u = 0.] yields [lo] and [u = 1.] yields [hi].  [lo > hi] is permitted
+    (the paper writes ranges like pipeline depth 24..7, where the "low"
+    setting is the worse one); [Log] requires both endpoints strictly
+    positive. *)
+
+val invert : t -> lo:float -> hi:float -> float -> float
+(** [invert tr ~lo ~hi v] recovers the normalised coordinate of a natural
+    value; inverse of {!apply}. *)
+
+val to_string : t -> string
+val of_string : string -> t option

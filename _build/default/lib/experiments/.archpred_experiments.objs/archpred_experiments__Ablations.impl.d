@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Archpred_core Archpred_design Archpred_rbf Archpred_regtree Archpred_stats Archpred_workloads Array Context Float Format List Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Archpred_core Archpred_design Archpred_stats Archpred_workloads Hashtbl Lazy Scale

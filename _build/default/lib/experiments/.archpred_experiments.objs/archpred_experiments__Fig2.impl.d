@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Archpred_core Archpred_design Context Format List Printf Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Archpred_core Archpred_rbf Archpred_stats Archpred_workloads Array Context Format List Report Scale String

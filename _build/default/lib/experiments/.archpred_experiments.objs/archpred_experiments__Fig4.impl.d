@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Archpred_core Archpred_stats Archpred_workloads Context Format List Report Scale

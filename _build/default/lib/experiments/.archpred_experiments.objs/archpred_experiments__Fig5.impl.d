@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Archpred_core Archpred_regtree Archpred_stats Archpred_workloads Array Context Format List Report Scale

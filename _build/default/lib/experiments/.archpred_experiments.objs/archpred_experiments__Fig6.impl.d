@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Archpred_core Archpred_design Archpred_workloads Array Context Format Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Archpred_core Archpred_linreg Archpred_stats Archpred_workloads Array Context Format List Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Context Extensions Fig1 Fig2 Fig3 Fig4 Fig5 Fig6 Fig7 Format List Scale Table1 Table2 Table3 Table4 Table5 Unix

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Archpred_core Archpred_design Array Format Report

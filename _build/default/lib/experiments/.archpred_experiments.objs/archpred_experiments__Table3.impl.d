@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Archpred_core Archpred_stats Archpred_workloads Array Context Format List Printf Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Archpred_core Archpred_workloads Context Format List Printf Report Scale

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Archpred_core Archpred_design Archpred_regtree Archpred_workloads Array Context Format List Printf Report Scale

@@ -1,0 +1,218 @@
+module Design = Archpred_design
+module Core = Archpred_core
+module Stats = Archpred_stats
+module Rbf = Archpred_rbf
+module Tree = Archpred_regtree.Tree
+
+let profile = Archpred_workloads.Spec2000.mcf
+
+(* Train on an explicit sample with the standard tuning pipeline. *)
+let train_on_sample ?criterion ctx points =
+  let response = Context.response ctx profile in
+  let responses = Core.Response.evaluate_many response points in
+  let tune =
+    Core.Tune.tune ?criterion ~dim:Core.Paper_space.dim ~points ~responses ()
+  in
+  ( {
+      Core.Predictor.space = Core.Paper_space.space;
+      network = tune.Core.Tune.selection.Rbf.Selection.network;
+      tree = Some tune.Core.Tune.tree;
+      p_min = tune.Core.Tune.p_min;
+      alpha = tune.Core.Tune.alpha;
+    },
+    tune,
+    responses )
+
+let test_error ctx predictor =
+  let points, actual = Context.test_set ctx profile in
+  Core.Predictor.errors_on predictor ~points ~actual
+
+let sampling ctx ppf =
+  Report.section ppf ~id:"Ablation: sampling"
+    ~title:"Best-of-N LHS vs single LHS vs uniform random vs Sobol (mcf)";
+  let n = Scale.ablation_sample_size (Context.scale ctx) in
+  let space = Core.Paper_space.space in
+  let strategies =
+    [
+      ( "best-of-N LHS",
+        fun rng ->
+          (Design.Optimize.best_lhs
+             ~candidates:(Scale.lhs_candidates (Context.scale ctx))
+             rng space ~n)
+            .Design.Optimize.points );
+      ( "single LHS",
+        fun rng ->
+          (Design.Optimize.best_lhs ~candidates:1 rng space ~n)
+            .Design.Optimize.points );
+      ("uniform random", fun rng -> Design.Random_design.sample_snapped rng space ~n);
+      ("sobol sequence", fun _rng -> Design.Sobol.sample space ~n);
+    ]
+  in
+  let replicates = 3 in
+  Format.fprintf ppf "%-16s %12s %10s %10s   (mean over %d replicates)@."
+    "strategy" "discrepancy" "mean%" "max%" replicates;
+  Report.rule ppf;
+  List.iter
+    (fun (name, draw) ->
+      let runs =
+        List.init replicates (fun _ ->
+            let points = draw (Context.rng ctx) in
+            let disc = Design.Discrepancy.l2_star points in
+            let predictor, _, _ = train_on_sample ctx points in
+            let err = test_error ctx predictor in
+            (disc, err))
+      in
+      let avg f =
+        Stats.Descriptive.mean (Array.of_list (List.map f runs))
+      in
+      Format.fprintf ppf "%-16s %12.5f %10.2f %10.2f@." name
+        (avg fst)
+        (avg (fun (_, e) -> e.Stats.Error_metrics.mean_pct))
+        (avg (fun (_, e) -> e.Stats.Error_metrics.max_pct)))
+    strategies;
+  Format.fprintf ppf
+    "@.Expected: better space filling (lower discrepancy) gives lower \
+     model error on@.average; single samples are noisy.@."
+
+let centers ctx ppf =
+  Report.section ppf ~id:"Ablation: centers"
+    ~title:"Tree-ordered AICc selection vs naive center sets (mcf)";
+  let n = Scale.ablation_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx profile ~n in
+  let points = trained.Core.Build.sample in
+  let responses = trained.Core.Build.sample_responses in
+  let alpha = trained.Core.Build.tune.Core.Tune.alpha in
+  let fit_centers name centers =
+    match
+      Rbf.Network.fit ~centers ~points ~responses ()
+    with
+    | network, _ ->
+        let predictor =
+          { trained.Core.Build.predictor with Core.Predictor.network }
+        in
+        let err = test_error ctx predictor in
+        Format.fprintf ppf "%-24s %8d %10.2f %10.2f@." name
+          (Array.length centers) err.Stats.Error_metrics.mean_pct
+          err.Stats.Error_metrics.max_pct
+    | exception Invalid_argument msg ->
+        Format.fprintf ppf "%-24s %8s %s@." name "-" msg
+  in
+  Format.fprintf ppf "%-24s %8s %10s %10s@." "center set" "m" "mean%" "max%";
+  Report.rule ppf;
+  (let err = test_error ctx trained.Core.Build.predictor in
+   Format.fprintf ppf "%-24s %8d %10.2f %10.2f@." "tree-ordered AICc"
+     (Core.Predictor.n_centers trained.Core.Build.predictor)
+     err.Stats.Error_metrics.mean_pct err.Stats.Error_metrics.max_pct);
+  let tree4 = Tree.build ~p_min:4 ~dim:Core.Paper_space.dim ~points ~responses () in
+  let leaf_centers =
+    Tree.leaves tree4
+    |> List.map (fun node ->
+           {
+             Rbf.Network.c = Tree.center node;
+             r = Array.map (fun s -> Float.max 1e-6 (alpha *. s)) (Tree.size node);
+           })
+    |> Array.of_list
+  in
+  fit_centers "all leaves (p_min=4)" leaf_centers;
+  let first_nodes =
+    Tree.nodes trained.Core.Build.tune.Core.Tune.tree
+    |> List.filteri (fun i _ -> i < Array.length points / 4)
+    |> List.map (fun node ->
+           {
+             Rbf.Network.c = Tree.center node;
+             r = Array.map (fun s -> Float.max 1e-6 (alpha *. s)) (Tree.size node);
+           })
+    |> Array.of_list
+  in
+  fit_centers "first p/4 tree nodes" first_nodes;
+  (* greedy forward selection over the same candidates, no tree ordering *)
+  let candidates =
+    Rbf.Tree_centers.of_tree ~alpha trained.Core.Build.tune.Core.Tune.tree
+  in
+  let forward =
+    Rbf.Selection.select_forward ~candidates ~points ~responses ()
+  in
+  (let predictor =
+     {
+       trained.Core.Build.predictor with
+       Core.Predictor.network = forward.Rbf.Selection.network;
+     }
+   in
+   let err = test_error ctx predictor in
+   Format.fprintf ppf "%-24s %8d %10.2f %10.2f@." "greedy forward (no tree)"
+     (List.length forward.Rbf.Selection.selected_node_ids)
+     err.Stats.Error_metrics.mean_pct err.Stats.Error_metrics.max_pct);
+  Format.fprintf ppf
+    "@.Expected: unselected center sets either overfit (many centers) or \
+     underfit;@.greedy forward selection is competitive but pays a large \
+     search cost.@."
+
+let criterion ctx ppf =
+  Report.section ppf ~id:"Ablation: criterion"
+    ~title:"Model-selection criterion: AICc vs AIC vs BIC vs GCV (mcf)";
+  let n = Scale.ablation_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx profile ~n in
+  let points = trained.Core.Build.sample in
+  Format.fprintf ppf "%-8s %8s %10s %10s@." "crit" "m" "mean%" "max%";
+  Report.rule ppf;
+  List.iter
+    (fun crit ->
+      let response = Context.response ctx profile in
+      let responses = Core.Response.evaluate_many response points in
+      let tune =
+        Core.Tune.tune ~criterion:crit ~dim:Core.Paper_space.dim ~points
+          ~responses ()
+      in
+      let predictor =
+        {
+          Core.Predictor.space = Core.Paper_space.space;
+          network = tune.Core.Tune.selection.Rbf.Selection.network;
+          tree = Some tune.Core.Tune.tree;
+          p_min = tune.Core.Tune.p_min;
+          alpha = tune.Core.Tune.alpha;
+        }
+      in
+      let err = test_error ctx predictor in
+      Format.fprintf ppf "%-8s %8d %10.2f %10.2f@."
+        (Rbf.Criteria.to_string crit)
+        (Core.Predictor.n_centers predictor)
+        err.Stats.Error_metrics.mean_pct err.Stats.Error_metrics.max_pct)
+    [ Rbf.Criteria.Aicc; Rbf.Criteria.Aic; Rbf.Criteria.Bic; Rbf.Criteria.Gcv ];
+  Format.fprintf ppf "@.Expected: AICc and GCV are competitive; AIC \
+                      over-selects at small samples.@."
+
+let alpha ctx ppf =
+  Report.section ppf ~id:"Ablation: alpha"
+    ~title:"Radius-scale sensitivity (eq. 8) at fixed p_min=1 (mcf)";
+  let n = Scale.ablation_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx profile ~n in
+  let points = trained.Core.Build.sample in
+  let responses = trained.Core.Build.sample_responses in
+  let tree = Tree.build ~p_min:1 ~dim:Core.Paper_space.dim ~points ~responses () in
+  Format.fprintf ppf "%-8s %8s %12s %10s %10s@." "alpha" "m" "criterion"
+    "mean%" "max%";
+  Report.rule ppf;
+  List.iter
+    (fun alpha ->
+      let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
+      let selection =
+        Rbf.Selection.select ~tree ~candidates ~points ~responses ()
+      in
+      let predictor =
+        {
+          Core.Predictor.space = Core.Paper_space.space;
+          network = selection.Rbf.Selection.network;
+          tree = Some tree;
+          p_min = 1;
+          alpha;
+        }
+      in
+      let err = test_error ctx predictor in
+      Format.fprintf ppf "%-8.1f %8d %12.1f %10.2f %10.2f@." alpha
+        (Core.Predictor.n_centers predictor)
+        selection.Rbf.Selection.criterion err.Stats.Error_metrics.mean_pct
+        err.Stats.Error_metrics.max_pct)
+    [ 1.; 2.; 3.; 5.; 8.; 12.; 16. ];
+  Format.fprintf ppf
+    "@.Expected: very small radii underfit between samples; the sweet \
+     spot is several@.times the region size (the paper reports 5-12).@."

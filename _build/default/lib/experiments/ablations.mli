@@ -1,0 +1,16 @@
+(** Ablation benches for the design choices DESIGN.md calls out.
+
+    These are not in the paper's evaluation, but they justify its design
+    decisions quantitatively on this reproduction:
+
+    - {!sampling}: best-of-N latin hypercube vs a single latin hypercube
+      vs uniform random sampling, at equal sample size;
+    - {!centers}: tree-ordered AICc subset selection vs naive center sets
+      (all leaves, or the first tree nodes);
+    - {!criterion}: AICc vs AIC vs BIC vs GCV for center selection;
+    - {!alpha}: sensitivity to the radius scale of eq. 8. *)
+
+val sampling : Context.t -> Format.formatter -> unit
+val centers : Context.t -> Format.formatter -> unit
+val criterion : Context.t -> Format.formatter -> unit
+val alpha : Context.t -> Format.formatter -> unit

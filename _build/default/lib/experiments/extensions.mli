@@ -1,0 +1,30 @@
+(** Extension experiments beyond the paper's evaluation, covering its
+    section 5 (related work) and section 6 (future work) material:
+
+    - {!firstorder}: a Karkhanis–Smith-style first-order analytical model
+      as a second baseline next to Figure 7's linear model — quantifying
+      the paper's claim that theoretical models "have not been
+      demonstrated to be accurate across the entire feasible design
+      space";
+    - {!power}: RBF models of energy per instruction, the "other metrics
+      such as power consumption" of the conclusion;
+    - {!stat_sim}: the statistical-simulation methodology (profile a
+      trace, regenerate a synthetic clone) evaluated across the design
+      space;
+    - {!adaptive}: the conclusion's adaptive-sampling suggestion, at equal
+      simulation budget against one-shot latin hypercube sampling. *)
+
+val firstorder : Context.t -> Format.formatter -> unit
+val power : Context.t -> Format.formatter -> unit
+val stat_sim : Context.t -> Format.formatter -> unit
+val adaptive : Context.t -> Format.formatter -> unit
+
+val modelzoo : Context.t -> Format.formatter -> unit
+(** Every model family of section 5 side by side: first-order analytical,
+    stepwise linear, Lee-Brooks-style splines, Ipek-style neural network,
+    and this paper's RBF networks — all trained on the same samples and
+    evaluated on the same test points. *)
+
+val sensitivity : Context.t -> Format.formatter -> unit
+(** Parameter-significance rankings from the fitted model (total effects)
+    next to the regression tree's split counts, per benchmark. *)

@@ -1,0 +1,41 @@
+module Design = Archpred_design
+module Core = Archpred_core
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 1"
+    ~title:"CPI response surface for vortex: il1_size x L2_lat";
+  let space = Core.Paper_space.space in
+  let dim_il1 = Design.Space.index_of space "il1_size" in
+  let dim_l2lat = Design.Space.index_of space "L2_lat" in
+  let steps1 = 5 and steps2 = 7 in
+  let base = Array.make Core.Paper_space.dim 0.5 in
+  let grid =
+    Design.Grid.sweep2 space ~base ~dim1:dim_il1 ~steps1 ~dim2:dim_l2lat
+      ~steps2
+  in
+  let response = Context.response ctx Archpred_workloads.Spec2000.vortex in
+  let flat = Array.concat (Array.to_list grid) in
+  let cpis = Core.Response.evaluate_many response flat in
+  let p_il1 = Design.Space.parameter space dim_il1 in
+  let p_lat = Design.Space.parameter space dim_l2lat in
+  Format.fprintf ppf "%-10s" "il1\\L2lat";
+  Array.iter
+    (fun pt ->
+      Format.fprintf ppf "%8.0f"
+        (Design.Parameter.decode p_lat pt.(dim_l2lat)))
+    grid.(0);
+  Format.fprintf ppf "@.";
+  Report.rule ppf;
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "%7.0fKB "
+        (Design.Parameter.decode p_il1 row.(0).(dim_il1) /. 1024.);
+      for j = 0 to steps2 - 1 do
+        Format.fprintf ppf "%8.3f" cpis.((i * steps2) + j)
+      done;
+      Format.fprintf ppf "@.")
+    grid;
+  Format.fprintf ppf
+    "@.Shape claim (paper Fig. 1): CPI rises towards small il1 and high \
+     L2 latency,@.with curvature — the latency penalty is steeper when \
+     the instruction cache is small.@."

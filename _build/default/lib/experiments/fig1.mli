@@ -1,0 +1,7 @@
+(** Figure 1 — the CPI response surface of vortex as the L1 instruction
+    cache size and the L2 latency vary (all other parameters fixed at the
+    center of the space).  Demonstrates the non-linearity motivating the
+    paper: L2 latency matters much more when the instruction cache is
+    small.  Printed as a simulated CPI grid. *)
+
+val run : Context.t -> Format.formatter -> unit

@@ -1,0 +1,29 @@
+module Design = Archpred_design
+module Core = Archpred_core
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 2"
+    ~title:"Best L2-star discrepancy vs number of simulations";
+  let sizes = [ 10; 20; 30; 50; 70; 90; 110; 150; 200 ] in
+  let candidates = Scale.lhs_candidates (Context.scale ctx) in
+  let curve =
+    Design.Optimize.discrepancy_curve ~kind:Design.Discrepancy.Star
+      ~candidates (Context.rng ctx) Core.Paper_space.space ~sizes
+  in
+  Format.fprintf ppf "%-8s %14s@." "n" "discrepancy";
+  Report.rule ppf;
+  let prev = ref None in
+  List.iter
+    (fun (n, d) ->
+      let drop =
+        match !prev with
+        | Some d' -> Printf.sprintf "  (-%.1f%%)" (100. *. (d' -. d) /. d')
+        | None -> ""
+      in
+      prev := Some d;
+      Format.fprintf ppf "%-8d %14.5f%s@." n d drop)
+    curve;
+  Format.fprintf ppf
+    "@.Shape claim: the discrepancy falls steeply at small sizes and \
+     tapers (knee@.around 70-110 samples), matching the error knee of \
+     Figure 4.@."

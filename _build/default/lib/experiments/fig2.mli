@@ -1,0 +1,5 @@
+(** Figure 2 — the best obtained L2-star discrepancy against the number of
+    simulations (sample size): the knee of this curve guides the choice of
+    sample size (the paper finds it near 90). *)
+
+val run : Context.t -> Format.formatter -> unit

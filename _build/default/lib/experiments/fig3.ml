@@ -1,0 +1,29 @@
+module Core = Archpred_core
+module Rbf = Archpred_rbf
+module Stats = Archpred_stats
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 3"
+    ~title:"A radial basis function network (trained instance for mcf)";
+  let n = Scale.table_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx Archpred_workloads.Spec2000.mcf ~n in
+  let network = trained.Core.Build.predictor.Core.Predictor.network in
+  let centers = network.Rbf.Network.centers in
+  let weights = network.Rbf.Network.weights in
+  Report.kv ppf "input layer" "%d parameters" Core.Paper_space.dim;
+  Report.kv ppf "hidden layer" "%d radial basis functions"
+    (Array.length centers);
+  Report.kv ppf "output layer" "1 linear unit (CPI)";
+  Report.kv ppf "weights" "%a" Stats.Descriptive.pp_summary
+    (Stats.Descriptive.summarize weights);
+  let radii =
+    Array.concat (Array.to_list (Array.map (fun c -> c.Rbf.Network.r) centers))
+  in
+  Report.kv ppf "radii" "%a" Stats.Descriptive.pp_summary
+    (Stats.Descriptive.summarize radii);
+  let ids = trained.Core.Build.tune.Core.Tune.selection.Rbf.Selection.selected_node_ids in
+  Report.kv ppf "selected tree nodes" "%s"
+    (String.concat " " (List.map string_of_int ids));
+  Format.fprintf ppf
+    "@.Each hidden unit computes h(x) = exp(-sum_k (x_k - c_k)^2 / r_k^2) \
+     (eq. 2);@.the output is f(x) = sum_j w_j h_j(x) (eq. 1).@."

@@ -1,0 +1,7 @@
+(** Figure 3 — the RBF network.  The paper's figure is an architecture
+    schematic (inputs, hidden radial-basis layer, linear output); this
+    experiment prints the concrete structure of a trained network for mcf:
+    layer sizes, the selected centers' tree depths, and weight/radius
+    summaries. *)
+
+val run : Context.t -> Format.formatter -> unit

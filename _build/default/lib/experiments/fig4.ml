@@ -1,0 +1,27 @@
+module Core = Archpred_core
+module Stats = Archpred_stats
+
+let series ctx ppf profile =
+  Report.subheading ppf profile.Archpred_workloads.Profile.name;
+  Format.fprintf ppf "%-8s %10s %10s %10s@." "n" "mean%" "std%" "max%";
+  Report.rule ppf;
+  List.iter
+    (fun n ->
+      let trained = Context.train ctx profile ~n in
+      let points, actual = Context.test_set ctx profile in
+      let err =
+        Core.Predictor.errors_on trained.Core.Build.predictor ~points ~actual
+      in
+      Format.fprintf ppf "%-8d %10.2f %10.2f %10.2f@." n
+        err.Stats.Error_metrics.mean_pct err.Stats.Error_metrics.std_pct
+        err.Stats.Error_metrics.max_pct)
+    (Scale.sample_sizes (Context.scale ctx))
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 4"
+    ~title:"Mean/std/max prediction error vs sample size (mcf, twolf)";
+  series ctx ppf Archpred_workloads.Spec2000.mcf;
+  series ctx ppf Archpred_workloads.Spec2000.twolf;
+  Format.fprintf ppf
+    "@.Shape claim: error decreases with sample size, with diminishing \
+     returns at the@.high end (the paper's knee is near 90 samples).@."

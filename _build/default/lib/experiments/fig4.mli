@@ -1,0 +1,6 @@
+(** Figure 4 — mean error, standard deviation and maximum error of the
+    predictive model against sample size, for mcf and twolf.  Shape
+    claims: error decreases with sample size and the improvement tapers
+    beyond the knee (near 90 in the paper). *)
+
+val run : Context.t -> Format.formatter -> unit

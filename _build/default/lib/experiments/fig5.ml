@@ -1,0 +1,33 @@
+module Core = Archpred_core
+module Stats = Archpred_stats
+module Tree = Archpred_regtree.Tree
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 5"
+    ~title:"Parameter values in tree splitting for mcf";
+  let n = Scale.table_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx Archpred_workloads.Spec2000.mcf ~n in
+  let tree = trained.Core.Build.tune.Core.Tune.tree in
+  let splits = Tree.splits tree in
+  Format.fprintf ppf "Total splits: %d@." (List.length splits);
+  Array.iteri
+    (fun k name ->
+      let values =
+        List.filter_map
+          (fun (s : Tree.split) ->
+            if s.Tree.dim = k then Some s.Tree.threshold else None)
+          splits
+      in
+      Format.fprintf ppf "@.%-12s (%d splits)@." name (List.length values);
+      if values <> [] then begin
+        let h =
+          Stats.Histogram.of_array ~lo:0. ~hi:1. ~bins:8
+            (Array.of_list values)
+        in
+        Stats.Histogram.pp ~width:30 () ppf h
+      end)
+    Core.Paper_space.param_names;
+  Format.fprintf ppf
+    "@.(Bins are over the normalised 0..1 range of each parameter.)@.\
+     Shape claim: for mcf, splits concentrate on the memory-system \
+     parameters and@.at the low end of the L2 size range.@."

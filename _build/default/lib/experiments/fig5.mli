@@ -1,0 +1,6 @@
+(** Figure 5 — the distribution of parameter values at which the
+    regression tree splits, for mcf: per parameter, how many splits fall
+    where in the parameter's range.  Printed as per-parameter ASCII
+    histograms over the normalised range. *)
+
+val run : Context.t -> Format.formatter -> unit

@@ -1,0 +1,39 @@
+module Design = Archpred_design
+module Core = Archpred_core
+
+let run ctx ppf =
+  Report.section ppf ~id:"Figure 6"
+    ~title:
+      "Predicted vs simulated CPI trends for vortex (il1_size x L2_lat)";
+  let profile = Archpred_workloads.Spec2000.vortex in
+  let n = Scale.table_sample_size (Context.scale ctx) in
+  let trained = Context.train ctx profile ~n in
+  let space = Core.Paper_space.space in
+  let dim_il1 = Design.Space.index_of space "il1_size" in
+  let dim_l2lat = Design.Space.index_of space "L2_lat" in
+  let base = Array.make Core.Paper_space.dim 0.5 in
+  let series =
+    Core.Trend.sweep
+      ~simulate:(Context.response ctx profile)
+      ~predictor:trained.Core.Build.predictor ~base ~dim1:dim_il1 ~steps1:4
+      ~dim2:dim_l2lat ~steps2:6 ()
+  in
+  Array.iter
+    (fun (s : Core.Trend.series) ->
+      Format.fprintf ppf "@.il1 = %.0fKB@." (s.Core.Trend.dim1_value /. 1024.);
+      Format.fprintf ppf "  %-10s" "L2_lat";
+      Array.iter (fun v -> Format.fprintf ppf "%8.0f" v) s.Core.Trend.dim2_values;
+      Format.fprintf ppf "@.";
+      Format.fprintf ppf "  %-10s" "simulated";
+      (match s.Core.Trend.simulated with
+      | Some sim -> Report.float_cells ppf sim
+      | None -> ());
+      Format.fprintf ppf "@.";
+      Format.fprintf ppf "  %-10s" "predicted";
+      Report.float_cells ppf s.Core.Trend.predicted;
+      Format.fprintf ppf "@.")
+    series;
+  Format.fprintf ppf
+    "@.Shape claim: dashed (predicted) tracks solid (simulated); the \
+     model may smooth@.the sharpest corner (small il1, high L2 latency), \
+     as in the paper.@."

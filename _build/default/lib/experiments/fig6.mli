@@ -1,0 +1,8 @@
+(** Figure 6 — using the RBF network to predict the variation in vortex
+    performance across instruction-cache sizes and L2 latencies: the
+    model's predicted CPI series are printed next to the simulated ones
+    for each il1 size.  Shape claim: predictions mirror the simulated
+    trends, with the largest deviation at small caches and high
+    latencies. *)
+
+val run : Context.t -> Format.formatter -> unit

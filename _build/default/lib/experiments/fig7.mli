@@ -1,0 +1,9 @@
+(** Figure 7 — predictive accuracy of linear regression models versus RBF
+    network models across sample sizes, for three benchmarks.  The linear
+    baseline (main effects + two-factor interactions, AIC-pruned) is
+    trained on the same space-filling samples as the RBF model and
+    evaluated on the same test points.  Shape claim: the non-linear model
+    is consistently more accurate; for mcf the paper reports 6.5% (linear)
+    vs 2.1% (RBF) at 200 samples. *)
+
+val run : Context.t -> Format.formatter -> unit

@@ -1,0 +1,17 @@
+let rule ppf =
+  Format.fprintf ppf "%s@." (String.make 78 '-')
+
+let section ppf ~id ~title =
+  Format.fprintf ppf "@.%s@." (String.make 78 '=');
+  Format.fprintf ppf "%s: %s@." id title;
+  Format.fprintf ppf "%s@." (String.make 78 '=')
+
+let subheading ppf s =
+  Format.fprintf ppf "@.-- %s@." s
+
+let kv ppf key fmt =
+  Format.fprintf ppf "%-24s: " key;
+  Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") ppf fmt
+
+let float_cells ppf xs =
+  Array.iter (fun x -> Format.fprintf ppf "%8.3f" x) xs

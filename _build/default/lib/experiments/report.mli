@@ -1,0 +1,14 @@
+(** Shared formatting helpers for experiment output. *)
+
+val section : Format.formatter -> id:string -> title:string -> unit
+(** Banner introducing one experiment's output. *)
+
+val subheading : Format.formatter -> string -> unit
+
+val kv : Format.formatter -> string -> ('a, Format.formatter, unit) format -> 'a
+(** [kv ppf key fmt ...] prints an aligned "key: value" line. *)
+
+val rule : Format.formatter -> unit
+
+val float_cells : Format.formatter -> float array -> unit
+(** Space-separated fixed-width float cells. *)

@@ -1,0 +1,22 @@
+module Design = Archpred_design
+
+let run _ctx ppf =
+  Report.section ppf ~id:"Table 1"
+    ~title:"Parameter ranges and levels (design space specification)";
+  Format.fprintf ppf "%-12s %14s %14s %8s %10s@." "Parameter" "Low (u=0)"
+    "High (u=1)" "Levels" "Transform";
+  Report.rule ppf;
+  Array.iter
+    (fun (p : Design.Parameter.t) ->
+      let levels =
+        match p.levels with
+        | Design.Parameter.Fixed l -> string_of_int l
+        | Design.Parameter.Per_sample -> "S"
+      in
+      Format.fprintf ppf "%-12s %14g %14g %8s %10s@." p.name p.lo p.hi levels
+        (Design.Transform.to_string p.transform))
+    (Design.Space.parameters Archpred_core.Paper_space.space);
+  Format.fprintf ppf
+    "@.IQ_ratio / LSQ_ratio are fractions of ROB_size (paper: \
+     0.25*ROB..0.75*ROB).@.S = one level per sample point, as in the \
+     paper.@."

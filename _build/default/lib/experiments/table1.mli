@@ -1,0 +1,5 @@
+(** Table 1 — parameter ranges, levels and transformations of the design
+    space.  Configuration, not measurement: prints the space this library
+    actually uses, for comparison against the paper's table. *)
+
+val run : Context.t -> Format.formatter -> unit

@@ -1,0 +1,18 @@
+module Design = Archpred_design
+module Core = Archpred_core
+
+let run _ctx ppf =
+  Report.section ppf ~id:"Table 2"
+    ~title:"Parameter ranges used for generating test data";
+  let space = Core.Paper_space.space in
+  let lo = Design.Space.decode space Core.Paper_space.test_lo in
+  let hi = Design.Space.decode space Core.Paper_space.test_hi in
+  Format.fprintf ppf "%-12s %14s %14s@." "Parameter" "Low" "High";
+  Report.rule ppf;
+  Array.iteri
+    (fun k (p : Design.Parameter.t) ->
+      Format.fprintf ppf "%-12s %14g %14g@." p.name lo.(k) hi.(k))
+    (Design.Space.parameters space);
+  Format.fprintf ppf
+    "@.Test points are drawn uniformly at random inside this box \
+     (50 points in the paper).@."

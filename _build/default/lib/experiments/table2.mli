@@ -1,0 +1,4 @@
+(** Table 2 — the narrower parameter ranges used for generating test
+    points, printed in natural units from the encoded test box. *)
+
+val run : Context.t -> Format.formatter -> unit

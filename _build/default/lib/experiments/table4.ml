@@ -1,0 +1,36 @@
+module Core = Archpred_core
+
+let paper =
+  [
+    (30, 1, 5., 15);
+    (50, 2, 8., 16);
+    (70, 1, 10., 22);
+    (90, 1, 12., 27);
+    (110, 1, 6., 40);
+    (200, 1, 7., 76);
+  ]
+
+let run ctx ppf =
+  Report.section ppf ~id:"Table 4"
+    ~title:"Diagnostics of the RBF model for mcf";
+  Format.fprintf ppf "%-8s | %6s %6s %8s | %6s %6s %8s@." "n" "p_min"
+    "alpha" "centers" "p.pmin" "p.alph" "p.cent";
+  Report.rule ppf;
+  List.iter
+    (fun n ->
+      let trained = Context.train ctx Archpred_workloads.Spec2000.mcf ~n in
+      let tune = trained.Core.Build.tune in
+      let centers = Core.Predictor.n_centers trained.Core.Build.predictor in
+      let p_pmin, p_alpha, p_centers =
+        match List.find_opt (fun (s, _, _, _) -> s = n) paper with
+        | Some (_, pm, a, c) -> (string_of_int pm, Printf.sprintf "%.0f" a, string_of_int c)
+        | None -> ("-", "-", "-")
+      in
+      Format.fprintf ppf "%-8d | %6d %6.0f %8d | %6s %6s %8s@." n
+        tune.Core.Tune.p_min tune.Core.Tune.alpha centers p_pmin p_alpha
+        p_centers)
+    (Scale.sample_sizes (Context.scale ctx));
+  Format.fprintf ppf
+    "@.Shape claims: p_min is small (1-2); radii are several times the \
+     region size;@.the number of centers is well under half the sample \
+     size.@."

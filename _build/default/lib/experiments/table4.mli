@@ -1,0 +1,10 @@
+(** Table 4 — diagnostics of the RBF model for mcf across sample sizes:
+    the tuned method parameters (p_min, alpha) and the number of selected
+    RBF centers.  The paper's claims: best p_min is typically 1, alpha
+    lands in 5–12, and the center count stays well below half the sample
+    size. *)
+
+val paper : (int * int * float * int) list
+(** [(sample size, p_min, alpha, centers)] as published. *)
+
+val run : Context.t -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/firstorder/model.ml: Archpred_sim Float Format Trace_stats

@@ -1,0 +1,1 @@
+lib/firstorder/model.mli: Archpred_sim Format

@@ -1,0 +1,1 @@
+lib/firstorder/trace_stats.ml: Archpred_sim Array Hashtbl

@@ -1,0 +1,1 @@
+lib/firstorder/trace_stats.mli: Archpred_sim

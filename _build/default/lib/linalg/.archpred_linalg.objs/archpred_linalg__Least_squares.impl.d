@@ -1,0 +1,1 @@
+lib/linalg/least_squares.ml: Array Matrix Qr Vector

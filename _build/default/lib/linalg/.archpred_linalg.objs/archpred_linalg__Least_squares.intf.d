@@ -1,0 +1,1 @@
+lib/linalg/least_squares.mli: Matrix Vector

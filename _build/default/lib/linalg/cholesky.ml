@@ -1,0 +1,50 @@
+type t = Matrix.t
+
+exception Not_positive_definite
+
+let decompose a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Cholesky.decompose: not square";
+  let l = Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise Not_positive_definite;
+        Matrix.set l i j (sqrt !acc)
+      end
+      else Matrix.set l i j (!acc /. Matrix.get l j j)
+    done
+  done;
+  l
+
+let solve l b =
+  let n = Matrix.rows l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: bad length";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (Matrix.get l i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. Matrix.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (Matrix.get l j i *. y.(j))
+    done;
+    y.(i) <- y.(i) /. Matrix.get l i i
+  done;
+  y
+
+let log_det l =
+  let n = Matrix.rows l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Matrix.get l i i)
+  done;
+  2. *. !acc
+
+let factor l = Matrix.copy l

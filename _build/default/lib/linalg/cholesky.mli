@@ -1,0 +1,24 @@
+(** Cholesky factorisation of symmetric positive-definite matrices.
+
+    Normal-equation solves [ (H'H + lambda I) w = H'y ] in ridge-regularised
+    RBF weight fitting use this factorisation. *)
+
+type t
+(** Lower-triangular factor [L] with [A = L L']. *)
+
+exception Not_positive_definite
+
+val decompose : Matrix.t -> t
+(** Factorise. Raises [Invalid_argument] if not square, and
+    {!Not_positive_definite} if a pivot is non-positive. The input is
+    assumed symmetric; only the lower triangle is read. *)
+
+val solve : t -> Vector.t -> Vector.t
+(** Solve [A x = b]. *)
+
+val log_det : t -> float
+(** Log-determinant of [A] (twice the log-sum of the diagonal of [L]);
+    useful for information criteria. *)
+
+val factor : t -> Matrix.t
+(** The lower-triangular factor [L]. *)

@@ -1,0 +1,81 @@
+type t = {
+  lu : Matrix.t; (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array; (* row permutation *)
+  sign : float; (* parity of the permutation, for det *)
+}
+
+exception Singular
+
+let decompose a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.decompose: not square";
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k at or below row k. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float (Matrix.get lu i k) > abs_float (Matrix.get lu !pivot k)
+      then pivot := i
+    done;
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot j);
+        Matrix.set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let pkk = Matrix.get lu k k in
+    if pkk = 0. then raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pkk in
+      Matrix.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Matrix.set lu i j (Matrix.get lu i j -. (factor *. Matrix.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve t b =
+  let n = Matrix.rows t.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: bad length";
+  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Matrix.get t.lu i j *. x.(j))
+    done
+  done;
+  (* Back substitution with upper triangle. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Matrix.get t.lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Matrix.get t.lu i i
+  done;
+  x
+
+let solve_matrix t b =
+  let n = Matrix.rows t.lu in
+  if Matrix.rows b <> n then invalid_arg "Lu.solve_matrix: bad rows";
+  let result = Matrix.create n (Matrix.cols b) in
+  for j = 0 to Matrix.cols b - 1 do
+    Matrix.set_col result j (solve t (Matrix.col b j))
+  done;
+  result
+
+let det t =
+  let n = Matrix.rows t.lu in
+  let d = ref t.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get t.lu i i
+  done;
+  !d
+
+let inverse t = solve_matrix t (Matrix.identity (Matrix.rows t.lu))

@@ -1,0 +1,102 @@
+type t = {
+  qr : Matrix.t; (* Householder vectors below the diagonal, R on/above *)
+  rdiag : float array;
+}
+
+exception Rank_deficient
+
+let decompose a =
+  let p = Matrix.rows a and m = Matrix.cols a in
+  if p < m then invalid_arg "Qr.decompose: more columns than rows";
+  let qr = Matrix.copy a in
+  let rdiag = Array.make m 0. in
+  for k = 0 to m - 1 do
+    (* Norm of the k-th column below the diagonal. *)
+    let nrm = ref 0. in
+    for i = k to p - 1 do
+      let v = Matrix.get qr i k in
+      nrm := sqrt ((!nrm *. !nrm) +. (v *. v))
+    done;
+    if !nrm <> 0. then begin
+      let nrm = if Matrix.get qr k k < 0. then -. !nrm else !nrm in
+      for i = k to p - 1 do
+        Matrix.set qr i k (Matrix.get qr i k /. nrm)
+      done;
+      Matrix.set qr k k (Matrix.get qr k k +. 1.);
+      (* Apply the reflector to the remaining columns. *)
+      for j = k + 1 to m - 1 do
+        let s = ref 0. in
+        for i = k to p - 1 do
+          s := !s +. (Matrix.get qr i k *. Matrix.get qr i j)
+        done;
+        let s = -. !s /. Matrix.get qr k k in
+        for i = k to p - 1 do
+          Matrix.set qr i j (Matrix.get qr i j +. (s *. Matrix.get qr i k))
+        done
+      done;
+      rdiag.(k) <- -.nrm
+    end
+    else rdiag.(k) <- 0.
+  done;
+  { qr; rdiag }
+
+let is_full_rank t =
+  Array.for_all (fun d -> abs_float d > 1e-12) t.rdiag
+
+let solve t y =
+  let p = Matrix.rows t.qr and m = Matrix.cols t.qr in
+  if Array.length y <> p then invalid_arg "Qr.solve: bad length";
+  if not (is_full_rank t) then raise Rank_deficient;
+  let b = Array.copy y in
+  (* Apply Q' to y. *)
+  for k = 0 to m - 1 do
+    let s = ref 0. in
+    for i = k to p - 1 do
+      s := !s +. (Matrix.get t.qr i k *. b.(i))
+    done;
+    let s = -. !s /. Matrix.get t.qr k k in
+    for i = k to p - 1 do
+      b.(i) <- b.(i) +. (s *. Matrix.get t.qr i k)
+    done
+  done;
+  (* Back-substitute R w = Q' y. *)
+  let w = Array.make m 0. in
+  for k = m - 1 downto 0 do
+    let acc = ref b.(k) in
+    for j = k + 1 to m - 1 do
+      acc := !acc -. (Matrix.get t.qr k j *. w.(j))
+    done;
+    w.(k) <- !acc /. t.rdiag.(k)
+  done;
+  w
+
+let r t =
+  let m = Matrix.cols t.qr in
+  Matrix.init m m (fun i j ->
+      if i = j then t.rdiag.(i)
+      else if i < j then Matrix.get t.qr i j
+      else 0.)
+
+let least_squares a y = solve (decompose a) y
+
+let least_squares_ridge a y ~lambda =
+  if lambda < 0. then invalid_arg "Qr.least_squares_ridge: lambda < 0";
+  let p = Matrix.rows a and m = Matrix.cols a in
+  if Array.length y <> p then invalid_arg "Qr.least_squares_ridge: bad length";
+  let s = sqrt lambda in
+  let aug =
+    Matrix.init (p + m) m (fun i j ->
+        if i < p then Matrix.get a i j else if i - p = j then s else 0.)
+  in
+  let y_aug = Array.make (p + m) 0. in
+  Array.blit y 0 y_aug 0 p;
+  solve (decompose aug) y_aug
+
+let residual_sum_squares a w y =
+  let fitted = Matrix.mul_vec a w in
+  let acc = ref 0. in
+  for i = 0 to Array.length y - 1 do
+    let d = fitted.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc

@@ -1,0 +1,1 @@
+lib/linreg/model.ml: Archpred_linalg Array Format List Term

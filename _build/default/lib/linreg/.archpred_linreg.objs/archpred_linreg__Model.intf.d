@@ -1,0 +1,1 @@
+lib/linreg/model.mli: Format Term

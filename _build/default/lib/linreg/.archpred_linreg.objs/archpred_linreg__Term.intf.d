@@ -1,0 +1,1 @@
+lib/linreg/term.mli:

@@ -1,0 +1,106 @@
+module Matrix = Archpred_linalg.Matrix
+module Least_squares = Archpred_linalg.Least_squares
+
+type t = {
+  terms : Term.t list;
+  coefficients : float array;
+  sigma2 : float;
+}
+
+let terms t = t.terms
+let coefficients t = t.coefficients
+let sigma2 t = t.sigma2
+
+let predict t x =
+  List.fold_left2
+    (fun acc term w -> acc +. (w *. Term.value term x))
+    0. t.terms
+    (Array.to_list t.coefficients)
+
+let design_matrix terms points =
+  let terms = Array.of_list terms in
+  Matrix.init (Array.length points) (Array.length terms) (fun i j ->
+      Term.value terms.(j) points.(i))
+
+let fit ~terms ~points ~responses =
+  if terms = [] then invalid_arg "Model.fit: no terms";
+  if Array.length points <> Array.length responses then
+    invalid_arg "Model.fit: points/responses mismatch";
+  let h = design_matrix terms points in
+  let f = Least_squares.fit h responses in
+  {
+    terms;
+    coefficients = f.Least_squares.coefficients;
+    sigma2 = f.Least_squares.sigma2;
+  }
+
+let aic ~p ~m ~sigma2 =
+  if sigma2 <= 0. then neg_infinity
+  else (float_of_int p *. log sigma2) +. (2. *. float_of_int m)
+
+let score criterion ~p terms points responses =
+  let m = List.length terms in
+  if m >= p then (infinity, None)
+  else
+    let model = fit ~terms ~points ~responses in
+    (criterion ~p ~m ~sigma2:model.sigma2, Some model)
+
+let stepwise ?(criterion = aic) ~points ~responses () =
+  let p = Array.length points in
+  if p = 0 then invalid_arg "Model.stepwise: empty sample";
+  let dim = Array.length points.(0) in
+  let pool = Term.full_set ~dim in
+  let start =
+    (* Main effects if they fit; otherwise just the intercept. *)
+    let mains = Term.main_effects_only ~dim in
+    if List.length mains < p then mains else [ Term.Intercept ]
+  in
+  let current = ref start in
+  let current_score, current_model = score criterion ~p !current points responses in
+  let best_score = ref current_score in
+  let best_model = ref current_model in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let additions =
+      List.filter (fun t -> not (List.exists (fun u -> Term.compare t u = 0) !current)) pool
+      |> List.map (fun t -> !current @ [ t ])
+    in
+    let removals =
+      List.filter (fun t -> t <> Term.Intercept) !current
+      |> List.map (fun t ->
+             List.filter (fun u -> Term.compare t u <> 0) !current)
+    in
+    let candidates = additions @ removals in
+    (* Evaluate every single-term move and take the best one. *)
+    let best_move = ref None in
+    List.iter
+      (fun terms ->
+        let sc, model = score criterion ~p terms points responses in
+        match !best_move with
+        | Some (sc', _, _) when sc' <= sc -> ()
+        | Some _ | None -> best_move := Some (sc, terms, model))
+      candidates;
+    (match !best_move with
+    | Some (sc, terms, model) when sc < !best_score -. 1e-12 ->
+        best_score := sc;
+        best_model := model;
+        current := terms;
+        improved := true
+    | Some _ | None -> ())
+  done;
+  match !best_model with
+  | Some model -> model
+  | None ->
+      (* Degenerate data (e.g. a constant response gives -inf AIC for every
+         model, so no strict improvement is ever recorded): fit the start
+         set directly. *)
+      fit ~terms:start ~points ~responses
+
+let pp ?names ppf t =
+  List.iteri
+    (fun i term ->
+      if i > 0 then Format.fprintf ppf " + ";
+      Format.fprintf ppf "%.4g*%s" t.coefficients.(i)
+        (Term.to_string ?names term))
+    t.terms

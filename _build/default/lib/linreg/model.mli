@@ -1,0 +1,40 @@
+(** Linear regression models with stepwise AIC term selection.
+
+    This is the comparison baseline of section 4.2: a linear model over
+    main effects and two-factor interactions, fitted on the same
+    space-filling samples as the RBF networks, then pruned by "variable
+    selection based on the AIC criteria to eliminate insignificant
+    factors".
+
+    When the sample is smaller than the full term set (e.g. 30 points
+    against the 46 terms of a 9-parameter space), the full fit is
+    under-determined; [stepwise] therefore searches bidirectionally from
+    the main-effects model, adding or dropping one term at a time while the
+    criterion improves. *)
+
+type t
+
+val terms : t -> Term.t list
+val coefficients : t -> float array
+val sigma2 : t -> float
+val predict : t -> float array -> float
+
+val fit :
+  terms:Term.t list -> points:float array array -> responses:float array -> t
+(** Least-squares fit over an explicit term set. Raises
+    [Invalid_argument] for an empty term list or mismatched data. *)
+
+val stepwise :
+  ?criterion:(p:int -> m:int -> sigma2:float -> float) ->
+  points:float array array ->
+  responses:float array ->
+  unit ->
+  t
+(** Bidirectional stepwise selection.  Starts from intercept + main
+    effects; candidate moves add one interaction / main effect not in the
+    model or drop one non-intercept term; the move that most lowers the
+    criterion is taken until no move improves it.  The default criterion
+    is AIC, [p * log sigma2 + 2 m]. *)
+
+val aic : p:int -> m:int -> sigma2:float -> float
+val pp : ?names:string array -> Format.formatter -> t -> unit

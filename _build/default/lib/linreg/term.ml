@@ -1,0 +1,38 @@
+type t = Intercept | Main of int | Interaction of int * int
+
+let value t x =
+  match t with
+  | Intercept -> 1.
+  | Main k -> x.(k)
+  | Interaction (j, k) -> x.(j) *. x.(k)
+
+let main_effects_only ~dim =
+  Intercept :: List.init dim (fun k -> Main k)
+
+let interactions ~dim =
+  List.concat
+    (List.init dim (fun j ->
+         List.filteri (fun k _ -> k > j) (List.init dim (fun k -> k))
+         |> List.map (fun k -> Interaction (j, k))))
+
+let full_set ~dim = main_effects_only ~dim @ interactions ~dim
+
+let rank = function Intercept -> 0 | Main _ -> 1 | Interaction _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Intercept, Intercept -> 0
+  | Main j, Main k -> Stdlib.compare j k
+  | Interaction (a1, a2), Interaction (b1, b2) -> Stdlib.compare (a1, a2) (b1, b2)
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let to_string ?names t =
+  let name k =
+    match names with
+    | Some ns when k < Array.length ns -> ns.(k)
+    | Some _ | None -> "x" ^ string_of_int k
+  in
+  match t with
+  | Intercept -> "1"
+  | Main k -> name k
+  | Interaction (j, k) -> name j ^ "*" ^ name k

@@ -1,0 +1,26 @@
+(** Terms of a linear regression model over the normalised design space.
+
+    The baseline of section 4.2 of the paper is a linear model "with the
+    main effects and all two-parameter interactions only" — an intercept,
+    one term per parameter, and one product term per parameter pair. *)
+
+type t =
+  | Intercept
+  | Main of int  (** coordinate [k] *)
+  | Interaction of int * int  (** product of two coordinates, [j < k] *)
+
+val value : t -> float array -> float
+(** Evaluate a term at a point. *)
+
+val full_set : dim:int -> t list
+(** Intercept, all main effects and all two-factor interactions:
+    [1 + d + d*(d-1)/2] terms. *)
+
+val main_effects_only : dim:int -> t list
+(** Intercept and main effects. *)
+
+val interactions : dim:int -> t list
+(** The two-factor interaction terms alone. *)
+
+val compare : t -> t -> int
+val to_string : ?names:string array -> t -> string

@@ -1,0 +1,1 @@
+lib/rbf/criteria.ml:

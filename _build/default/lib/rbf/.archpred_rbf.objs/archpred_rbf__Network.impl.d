@@ -1,0 +1,1 @@
+lib/rbf/network.ml: Archpred_linalg Array

@@ -1,0 +1,1 @@
+lib/rbf/network.mli: Archpred_linalg

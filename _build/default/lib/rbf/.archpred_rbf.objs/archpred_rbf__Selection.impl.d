@@ -1,0 +1,1 @@
+lib/rbf/selection.ml: Archpred_linalg Archpred_regtree Array Criteria List Network Queue Subset_scorer Tree_centers

@@ -1,0 +1,1 @@
+lib/rbf/selection.mli: Archpred_linalg Archpred_regtree Criteria Network Tree_centers

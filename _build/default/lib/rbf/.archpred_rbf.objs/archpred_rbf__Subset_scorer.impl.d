@@ -1,0 +1,1 @@
+lib/rbf/subset_scorer.ml: Archpred_linalg Array Criteria Float List

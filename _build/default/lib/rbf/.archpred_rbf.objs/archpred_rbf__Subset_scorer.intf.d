@@ -1,0 +1,1 @@
+lib/rbf/subset_scorer.mli: Archpred_linalg Criteria

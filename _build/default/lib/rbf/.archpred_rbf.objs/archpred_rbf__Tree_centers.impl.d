@@ -1,0 +1,1 @@
+lib/rbf/tree_centers.ml: Archpred_regtree Array Float List Network

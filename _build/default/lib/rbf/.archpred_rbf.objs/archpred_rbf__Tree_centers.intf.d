@@ -1,0 +1,1 @@
+lib/rbf/tree_centers.mli: Archpred_regtree Network

@@ -1,0 +1,32 @@
+type t = Aicc | Aic | Bic | Gcv
+
+let score t ~p ~m ~sigma2 =
+  let pf = float_of_int p and mf = float_of_int m in
+  if sigma2 <= 0. then infinity
+  else
+    match t with
+    | Aicc ->
+        if m >= p - 1 then infinity
+        else
+          (pf *. log sigma2) +. (2. *. mf)
+          +. (2. *. mf *. (mf +. 1.) /. (pf -. mf -. 1.))
+    | Aic -> (pf *. log sigma2) +. (2. *. mf)
+    | Bic -> (pf *. log sigma2) +. (mf *. log pf)
+    | Gcv ->
+        if m >= p then infinity
+        else
+          let denom = 1. -. (mf /. pf) in
+          log (pf *. sigma2 /. (denom *. denom))
+
+let to_string = function
+  | Aicc -> "aicc"
+  | Aic -> "aic"
+  | Bic -> "bic"
+  | Gcv -> "gcv"
+
+let of_string = function
+  | "aicc" -> Some Aicc
+  | "aic" -> Some Aic
+  | "bic" -> Some Bic
+  | "gcv" -> Some Gcv
+  | _ -> None

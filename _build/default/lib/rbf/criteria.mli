@@ -1,0 +1,21 @@
+(** Model-selection criteria (section 2.5 of the paper).
+
+    The paper selects the subset of RBF centers minimising corrected
+    Akaike information:
+
+    {v AICc = p log(sigma^2) + 2m + 2m(m+1) / (p - m - 1)  (+ constant) v}
+
+    (eq. 9) where [p] is the sample size, [m] the number of centers and
+    [sigma^2] the error variance of the fit.  BIC and generalised
+    cross-validation are provided for the criterion ablation bench. *)
+
+type t = Aicc | Aic | Bic | Gcv
+
+val score : t -> p:int -> m:int -> sigma2:float -> float
+(** Criterion value; lower is better.  Returns [infinity] when the
+    criterion is undefined — [m >= p - 1] for AICc (no residual degrees of
+    freedom), [m >= p] for GCV, or [sigma2 <= 0] (an exact interpolation;
+    treated as overfit). *)
+
+val to_string : t -> string
+val of_string : string -> t option

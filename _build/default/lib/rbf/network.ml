@@ -1,0 +1,64 @@
+module Matrix = Archpred_linalg.Matrix
+module Least_squares = Archpred_linalg.Least_squares
+
+type center = { c : float array; r : float array }
+
+let check_center { c; r } =
+  if Array.length c <> Array.length r then
+    invalid_arg "Network: center/radius arity mismatch";
+  Array.iter
+    (fun radius ->
+      if not (radius > 0.) then invalid_arg "Network: non-positive radius")
+    r
+
+let basis { c; r } x =
+  let n = Array.length c in
+  if Array.length x <> n then invalid_arg "Network.basis: arity mismatch";
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    let d = (x.(k) -. c.(k)) /. r.(k) in
+    acc := !acc +. (d *. d)
+  done;
+  exp (-. !acc)
+
+type t = { centers : center array; weights : float array }
+
+let eval t x =
+  let acc = ref 0. in
+  for j = 0 to Array.length t.centers - 1 do
+    acc := !acc +. (t.weights.(j) *. basis t.centers.(j) x)
+  done;
+  !acc
+
+let design_matrix centers points =
+  Matrix.init (Array.length points) (Array.length centers) (fun i j ->
+      basis centers.(j) points.(i))
+
+type fit_diagnostics = { rss : float; sigma2 : float; regularized : bool }
+
+(* Deep tree nodes produce nearly coincident candidate centers, so the
+   Gaussian design matrix can be severely ill-conditioned even when QR
+   technically succeeds — yielding weight vectors in the millions whose
+   cancellation is numerically fragile.  A small default ridge keeps the
+   weights bounded and matches the jitter the subset scorer applies during
+   selection. *)
+let default_ridge = 1e-8
+
+let fit ?(ridge = default_ridge) ~centers ~points ~responses () =
+  if Array.length centers = 0 then invalid_arg "Network.fit: no centers";
+  if Array.length points <> Array.length responses then
+    invalid_arg "Network.fit: points/responses mismatch";
+  if Array.length points < Array.length centers then
+    invalid_arg "Network.fit: more centers than points";
+  Array.iter check_center centers;
+  let h = design_matrix centers points in
+  let f =
+    if ridge > 0. then Least_squares.fit_ridge h responses ~lambda:ridge
+    else Least_squares.fit h responses
+  in
+  ( { centers; weights = f.Least_squares.coefficients },
+    {
+      rss = f.Least_squares.rss;
+      sigma2 = f.Least_squares.sigma2;
+      regularized = f.Least_squares.regularized;
+    } )

@@ -1,0 +1,149 @@
+module Tree = Archpred_regtree.Tree
+module Matrix = Archpred_linalg.Matrix
+module Least_squares = Archpred_linalg.Least_squares
+
+type result = {
+  network : Network.t;
+  selected_node_ids : int list;
+  criterion : float;
+  sigma2 : float;
+}
+
+let fit_subset ~design ~responses ids =
+  match ids with
+  | [] -> None
+  | _ ->
+      let cols = Array.of_list ids in
+      let m = Array.length cols in
+      let p = Array.length responses in
+      if m >= p then None
+      else
+        let h = Matrix.select_cols design cols in
+        let f = Least_squares.fit h responses in
+        Some f
+
+let evaluate_subset ~criterion ~design ~responses ids =
+  match fit_subset ~design ~responses ids with
+  | None -> infinity
+  | Some f ->
+      Criteria.score criterion ~p:(Array.length responses)
+        ~m:(List.length ids) ~sigma2:f.Least_squares.sigma2
+
+let select ?(criterion = Criteria.Aicc) ~tree ~candidates ~points ~responses () =
+  let p = Array.length points in
+  if p <> Array.length responses then
+    invalid_arg "Selection.select: points/responses mismatch";
+  if p = 0 then invalid_arg "Selection.select: empty sample";
+  (* Full design matrix over every candidate, computed once; subsets are
+     scored through precomputed Gram moments. *)
+  let all_centers = Array.map (fun c -> c.Tree_centers.center) candidates in
+  let design = Network.design_matrix all_centers points in
+  let scorer = Subset_scorer.create ~design ~responses in
+  let selected = Array.make (Array.length candidates) false in
+  let current_ids () =
+    let acc = ref [] in
+    for i = Array.length selected - 1 downto 0 do
+      if selected.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let score_of ids = Subset_scorer.score scorer ~criterion ids in
+  (* Start from the root center alone. *)
+  let root = Tree.root tree in
+  selected.(root.Tree.id) <- true;
+  let best_score = ref (score_of (current_ids ())) in
+  let consider_node (n : Tree.node) =
+    match n.Tree.split with
+    | None -> ()
+    | Some s ->
+        let trio = [| n.Tree.id; s.Tree.left.Tree.id; s.Tree.right.Tree.id |] in
+        let saved = Array.map (fun id -> selected.(id)) trio in
+        let best_combo = ref None in
+        for combo = 0 to 7 do
+          Array.iteri
+            (fun k id -> selected.(id) <- (combo lsr k) land 1 = 1)
+            trio;
+          let sc = score_of (current_ids ()) in
+          match !best_combo with
+          | Some (best_sc, _) when best_sc <= sc -> ()
+          | Some _ | None -> best_combo := Some (sc, combo)
+        done;
+        (match !best_combo with
+        | Some (sc, combo) when sc <= !best_score ->
+            Array.iteri
+              (fun k id -> selected.(id) <- (combo lsr k) land 1 = 1)
+              trio;
+            best_score := sc
+        | Some _ | None ->
+            (* No combination beat the incumbent; restore. *)
+            Array.iteri (fun k id -> selected.(id) <- saved.(k)) trio)
+  in
+  (* Breadth-first walk mirrors Orr's "move deeper in the regression tree"
+     ordering. *)
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    consider_node n;
+    match n.Tree.split with
+    | None -> ()
+    | Some s ->
+        Queue.add s.Tree.left queue;
+        Queue.add s.Tree.right queue
+  done;
+  (* Guarantee a non-empty model: fall back to the root alone. *)
+  if current_ids () = [] then selected.(root.Tree.id) <- true;
+  let ids = current_ids () in
+  let centers = Array.of_list (List.map (fun i -> all_centers.(i)) ids) in
+  let network, diag = Network.fit ~centers ~points ~responses () in
+  {
+    network;
+    selected_node_ids = ids;
+    criterion =
+      Criteria.score criterion ~p ~m:(List.length ids)
+        ~sigma2:diag.Network.sigma2;
+    sigma2 = diag.Network.sigma2;
+  }
+
+let select_forward ?(criterion = Criteria.Aicc) ?max_centers ~candidates
+    ~points ~responses () =
+  let p = Array.length points in
+  if p <> Array.length responses then
+    invalid_arg "Selection.select_forward: points/responses mismatch";
+  if p = 0 then invalid_arg "Selection.select_forward: empty sample";
+  let all_centers = Array.map (fun c -> c.Tree_centers.center) candidates in
+  let design = Network.design_matrix all_centers points in
+  let scorer = Subset_scorer.create ~design ~responses in
+  let m_cap = match max_centers with Some m -> m | None -> max 1 (p / 2) in
+  let chosen = ref [] in
+  let best_score = ref infinity in
+  let continue_ = ref true in
+  while !continue_ && List.length !chosen < m_cap do
+    let best_addition = ref None in
+    Array.iteri
+      (fun j _ ->
+        if not (List.mem j !chosen) then begin
+          let sc = Subset_scorer.score scorer ~criterion (j :: !chosen) in
+          match !best_addition with
+          | Some (sc', _) when sc' <= sc -> ()
+          | Some _ | None -> best_addition := Some (sc, j)
+        end)
+      candidates;
+    match !best_addition with
+    | Some (sc, j) when sc < !best_score -. 1e-12 ->
+        chosen := j :: !chosen;
+        best_score := sc
+    | Some _ | None -> continue_ := false
+  done;
+  let ids = List.sort compare !chosen in
+  let ids = if ids = [] then [ 0 ] else ids in
+  let centers = Array.of_list (List.map (fun i -> all_centers.(i)) ids) in
+  let network, diag = Network.fit ~centers ~points ~responses () in
+  {
+    network;
+    selected_node_ids = ids;
+    criterion =
+      Criteria.score criterion ~p ~m:(List.length ids)
+        ~sigma2:diag.Network.sigma2;
+    sigma2 = diag.Network.sigma2;
+  }

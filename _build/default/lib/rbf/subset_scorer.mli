@@ -1,0 +1,26 @@
+(** Fast scoring of candidate center subsets.
+
+    The tree-ordered selection evaluates thousands of subsets that differ
+    by one to three columns.  Refitting each by QR costs O(p m^2) per
+    subset; instead this scorer precomputes the Gram matrix [G = H'H], the
+    moment vector [H'y] and [y'y] once, after which any subset's residual
+    sum of squares follows from an m-by-m Cholesky solve:
+
+    {v RSS(S) = y'y - w' (H'y)_S  where  G_SS w = (H'y)_S v}
+
+    A tiny jitter on the Gram diagonal keeps the solve defined when two
+    candidate centers (nearly) coincide. *)
+
+type t
+
+val create : design:Archpred_linalg.Matrix.t -> responses:float array -> t
+(** Precompute moments of the full p-by-M design matrix. *)
+
+val sigma2 : t -> int list -> float option
+(** Maximum-likelihood error variance [RSS / p] of the least-squares fit
+    restricted to the given candidate columns; [None] for the empty subset,
+    for subsets with [m >= p], or if the (jittered) normal equations are
+    still singular. *)
+
+val score : t -> criterion:Criteria.t -> int list -> float
+(** Criterion value of a subset; [infinity] where {!sigma2} is [None]. *)

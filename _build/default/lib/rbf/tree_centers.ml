@@ -1,0 +1,27 @@
+module Tree = Archpred_regtree.Tree
+
+type candidate = { node_id : int; depth : int; center : Network.center }
+
+let of_tree ~alpha tree =
+  if not (alpha > 0.) then invalid_arg "Tree_centers.of_tree: alpha <= 0";
+  let nodes = Tree.nodes tree in
+  let count = Tree.node_count tree in
+  let out =
+    Array.make count
+      { node_id = -1; depth = 0; center = { Network.c = [||]; r = [||] } }
+  in
+  List.iter
+    (fun (n : Tree.node) ->
+      let c = Tree.center n in
+      let r =
+        Array.map (fun s -> Float.max 1e-6 (alpha *. s)) (Tree.size n)
+      in
+      out.(n.Tree.id) <-
+        { node_id = n.Tree.id; depth = n.Tree.depth; center = { Network.c; r } })
+    nodes;
+  Array.iter
+    (fun cand ->
+      if cand.node_id < 0 then
+        invalid_arg "Tree_centers.of_tree: non-contiguous node ids")
+    out;
+  out

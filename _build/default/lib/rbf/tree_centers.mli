@@ -1,0 +1,18 @@
+(** RBF centers derived from a regression tree (section 2.5 of the paper).
+
+    Every tree node covers a hyper-rectangle of the design space with
+    center [c] and size [s]; the corresponding candidate RBF sits at [c]
+    with radius vector [r = alpha * s] (eq. 8), so an RBF influences its
+    own region and — for the typical [alpha] of 5–12 found by tuning —
+    its neighbourhood. *)
+
+type candidate = {
+  node_id : int;  (** id of the originating tree node *)
+  depth : int;
+  center : Network.center;
+}
+
+val of_tree : alpha:float -> Archpred_regtree.Tree.t -> candidate array
+(** Candidates for every node, indexed by node id (the root is index 0).
+    Radii are clamped below at [1e-6] to keep the Gaussians well defined.
+    Requires [alpha > 0]. *)

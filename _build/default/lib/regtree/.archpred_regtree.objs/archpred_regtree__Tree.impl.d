@@ -1,0 +1,1 @@
+lib/regtree/tree.ml: Array List

@@ -1,0 +1,1 @@
+lib/sim/branch_predictor.ml: Array Bytes Char

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Branch_predictor Cache Dram Format Fu_pool

@@ -1,0 +1,1 @@
+lib/sim/config.mli: Branch_predictor Cache Dram Format Fu_pool

@@ -1,0 +1,1 @@
+lib/sim/fu_pool.mli: Opcode

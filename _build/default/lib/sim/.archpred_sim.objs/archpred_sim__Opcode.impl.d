@@ -1,0 +1,1 @@
+lib/sim/opcode.ml: Format

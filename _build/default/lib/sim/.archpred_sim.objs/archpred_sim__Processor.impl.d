@@ -1,0 +1,1 @@
+lib/sim/processor.ml: Array Branch_predictor Bytes Cache Config Dram Format Fu_pool Memory Opcode Trace

@@ -1,0 +1,1 @@
+lib/sim/processor.mli: Config Format Trace

@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Fun In_channel List Opcode Printf String Trace

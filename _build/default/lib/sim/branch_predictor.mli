@@ -1,0 +1,69 @@
+(** Dynamic branch prediction.
+
+    The paper's simulator "models ... branch direction and target
+    predictors"; mispredictions are the events whose cost scales with
+    pipeline depth, one of the nine design parameters.  Four direction
+    schemes are provided; the design space holds the predictor fixed
+    (gshare by default, as a 2006-era high-end baseline) while workloads
+    differ in predictability, but the scheme knob supports sensitivity
+    studies.
+
+    - [Gshare]: global history XOR-indexed 2-bit counters;
+    - [Bimodal]: per-PC 2-bit counters, no history;
+    - [Local]: per-PC history registers indexing a shared pattern table
+      (the Alpha 21264's local component);
+    - [Tournament]: bimodal + gshare with a per-PC chooser.
+
+    All schemes share a direct-mapped branch target buffer for (indirect)
+    target prediction. *)
+
+type scheme = Gshare | Bimodal | Local | Tournament
+
+type config = {
+  scheme : scheme;
+  history_bits : int;  (** global/local history length; pattern tables
+                           have [2^history_bits] counters *)
+  btb_entries : int;  (** direct-mapped BTB size; power of two *)
+}
+
+val config : ?scheme:scheme -> history_bits:int -> btb_entries:int -> unit -> config
+(** Validated constructor ([scheme] defaults to [Gshare]).  Raises
+    [Invalid_argument] for history outside [1..24] or a non-power-of-two
+    BTB. *)
+
+val default_config : config
+(** Gshare, 13 history bits, 4096-entry BTB. *)
+
+type t
+
+val create : config -> t
+
+type prediction = {
+  direction : bool;  (** predicted taken? *)
+  target_known : bool;  (** BTB hit for the (predicted-)taken path *)
+}
+
+val predict : t -> pc:int -> prediction
+(** Look up direction and target for the branch at [pc]; no state change. *)
+
+val update : t -> pc:int -> taken:bool -> target:int -> unit
+(** Train the direction scheme, shift histories, and (if taken) install
+    the target into the BTB. *)
+
+type kind =
+  | Conditional  (** direction-predicted branch; target computable at
+                     decode, so only a wrong direction costs a flush *)
+  | Indirect  (** jump whose target must come from the BTB; a BTB miss
+                  costs a flush *)
+
+val mispredicted : t -> kind:kind -> pc:int -> taken:bool -> bool
+(** Would the current prediction be wrong for this outcome?  For
+    [Conditional], compares predicted and actual direction; for
+    [Indirect], a taken transfer missing in the BTB is a misprediction.
+    Updates the lookup/misprediction statistics. *)
+
+type stats = { lookups : int; mispredicts : int }
+
+val stats : t -> stats
+val accuracy : t -> float
+val reset_stats : t -> unit

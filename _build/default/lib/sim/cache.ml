@@ -1,0 +1,107 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  associativity : int;
+  latency : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config ~size_bytes ~line_bytes ~associativity ~latency =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.config: line size not a power of two";
+  if associativity <= 0 then invalid_arg "Cache.config: associativity <= 0";
+  if latency < 1 then invalid_arg "Cache.config: latency < 1";
+  if size_bytes < line_bytes * associativity then
+    invalid_arg "Cache.config: fewer than one set";
+  if size_bytes mod (line_bytes * associativity) <> 0 then
+    invalid_arg "Cache.config: size not a multiple of line * associativity";
+  { size_bytes; line_bytes; associativity; latency }
+
+type t = {
+  cfg : config;
+  set_count : int;
+  line_shift : int;
+  tags : int array; (* set * ways + way; -1 = invalid *)
+  age : int array; (* LRU stamps, monotone counter *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create cfg =
+  let set_count = cfg.size_bytes / (cfg.line_bytes * cfg.associativity) in
+  {
+    cfg;
+    set_count;
+    line_shift = log2 cfg.line_bytes;
+    tags = Array.make (set_count * cfg.associativity) (-1);
+    age = Array.make (set_count * cfg.associativity) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let latency t = t.cfg.latency
+let sets t = t.set_count
+let ways t = t.cfg.associativity
+
+(* Any set count is allowed (sizes need not be powers of two), so the set
+   index is a modulo and the tag is the full line number. *)
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.set_count in
+  (set, line)
+
+let find t set tag =
+  let ways = t.cfg.associativity in
+  let base = set * ways in
+  let rec scan w = if w >= ways then -1 else if t.tags.(base + w) = tag then base + w else scan (w + 1) in
+  scan 0
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set, tag = locate t addr in
+  let slot = find t set tag in
+  if slot >= 0 then begin
+    t.age.(slot) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Fill, evicting the LRU way of the set. *)
+    let ways = t.cfg.associativity in
+    let base = set * ways in
+    let victim = ref base in
+    for w = 1 to ways - 1 do
+      if t.age.(base + w) < t.age.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- tag;
+    t.age.(!victim) <- t.clock;
+    false
+  end
+
+let probe t addr =
+  let set, tag = locate t addr in
+  find t set tag >= 0
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.age 0 (Array.length t.age) 0
+
+type stats = { accesses : int; misses : int }
+
+let stats (t : t) : stats = { accesses = t.accesses; misses = t.misses }
+
+let miss_rate (t : t) =
+  if t.accesses = 0 then 0.
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats (t : t) =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,42 @@
+(** DRAM device timing, memory-controller queueing and bus contention.
+
+    The paper's simulator models "DRAM device timing, queuing at the memory
+    controller, and contention for the memory bus".  This module provides
+    the same three effects in a compact form: each of [banks] DRAM banks is
+    busy for [bank_occupancy] cycles per access (row activate + column
+    access + precharge), the shared data bus is busy for [bus_occupancy]
+    cycles per transfer, and requests that find their bank or the bus busy
+    queue behind earlier ones — so a burst of L2 misses sees growing
+    latency, which is exactly what makes small L2 configurations behave
+    non-linearly. *)
+
+type config = {
+  base_latency : int;  (** unloaded access latency in CPU cycles *)
+  banks : int;  (** number of independent banks; power of two *)
+  bank_occupancy : int;  (** cycles a bank stays busy per access *)
+  bus_occupancy : int;  (** cycles the shared bus is held per transfer *)
+}
+
+val config :
+  base_latency:int -> banks:int -> bank_occupancy:int -> bus_occupancy:int -> config
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val access : t -> cycle:int -> addr:int -> int
+(** [access t ~cycle ~addr] performs a memory access issued at [cycle];
+    returns the cycle at which the data is available (always
+    [>= cycle + base_latency]).  Advances the bank and bus reservations. *)
+
+type stats = {
+  accesses : int;
+  total_latency : int;  (** summed end-to-end latencies *)
+  queue_cycles : int;  (** summed cycles spent waiting for bank/bus *)
+}
+
+val stats : t -> stats
+val average_latency : t -> float
+val reset_stats : t -> unit

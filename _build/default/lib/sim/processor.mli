@@ -1,0 +1,63 @@
+(** The cycle-level superscalar pipeline.
+
+    A trace-driven out-of-order engine in the style of SimpleScalar's
+    sim-outorder, reduced to the events that the paper's nine design
+    parameters govern:
+
+    - in-order fetch/dispatch of up to [fetch_width] instructions per
+      cycle, stalling on a full ROB/IQ/LSQ, on L1I misses (a new cache line
+      is probed whenever fetch crosses a line boundary), and after
+      (predicted-)taken control transfers (one taken transfer per cycle);
+    - branch prediction at fetch (gshare + BTB); on a misprediction the
+      front end stops and resumes [pipe_depth] cycles after the branch
+      executes — pipeline depth sets the refill penalty;
+    - dispatch into a [rob_size]-entry reorder buffer; non-nop instructions
+      also take an issue-queue slot until they issue, loads and stores a
+      LSQ slot until they commit;
+    - out-of-order, oldest-first issue of up to [issue_width] ready
+      instructions per cycle, subject to functional-unit bandwidth; loads
+      wait for all older stores' addresses, forward from a matching older
+      store, and otherwise access the L1D/L2/DRAM hierarchy with queueing
+      and bus contention;
+    - in-order commit of up to [commit_width] completed instructions per
+      cycle; stores update the memory hierarchy at commit.
+
+    The engine is deterministic: a (trace, config) pair always yields the
+    same cycle count. *)
+
+type result = {
+  instructions : int;
+  cycles : int;
+  cpi : float;
+  branch_accuracy : float;
+  il1_miss_rate : float;
+  dl1_miss_rate : float;
+  l2_miss_rate : float;
+  dram_accesses : int;
+  dram_avg_latency : float;
+  avg_rob_occupancy : float;
+  avg_iq_occupancy : float;
+  avg_lsq_occupancy : float;
+  dispatch_stall_rob : int;  (** cycles fetch blocked on a full ROB *)
+  dispatch_stall_iq : int;
+  dispatch_stall_lsq : int;
+  fetch_stall_icache : int;  (** cycles fetch blocked on an L1I miss *)
+  fetch_stall_branch : int;  (** cycles fetch blocked on a misprediction *)
+}
+
+exception Cycle_limit_exceeded of int
+
+val run : ?max_cycles:int -> ?warm:bool -> Config.t -> Trace.t -> result
+(** Simulate a trace to completion.  [max_cycles] (default
+    [200 * length + 10_000_000]) guards against engine bugs; exceeding it
+    raises {!Cycle_limit_exceeded}.  [warm] (default [true]) first replays
+    the trace's reference streams through the caches and branch predictor
+    without timing, approximating the steady state of a long-running
+    program; without it, compulsory misses dominate short traces.  Raises
+    [Invalid_argument] if the configuration fails [Config.validate]. *)
+
+val cpi : ?max_cycles:int -> ?warm:bool -> Config.t -> Trace.t -> float
+(** [run] and return just the CPI — the response the models are built
+    for. *)
+
+val pp_result : Format.formatter -> result -> unit

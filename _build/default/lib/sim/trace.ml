@@ -1,0 +1,142 @@
+type t = {
+  n : int;
+  op : int array;
+  dep1 : int array;
+  dep2 : int array;
+  addr : int array;
+  pc : int array;
+  taken : Bytes.t;
+  target : int array;
+}
+
+type inst = {
+  op : Opcode.t;
+  dep1 : int;
+  dep2 : int;
+  addr : int;
+  pc : int;
+  taken : bool;
+  target : int;
+}
+
+let length (t : t) = t.n
+let op (t : t) i = Opcode.of_int t.op.(i)
+let dep1 (t : t) i = t.dep1.(i)
+let dep2 (t : t) i = t.dep2.(i)
+let addr (t : t) i = t.addr.(i)
+let pc (t : t) i = t.pc.(i)
+let taken (t : t) i = Bytes.get t.taken i <> '\000'
+let target (t : t) i = t.target.(i)
+
+let get t i =
+  {
+    op = op t i;
+    dep1 = dep1 t i;
+    dep2 = dep2 t i;
+    addr = addr t i;
+    pc = pc t i;
+    taken = taken t i;
+    target = target t i;
+  }
+
+module Builder = struct
+  type trace = t
+
+  type t = {
+    mutable n : int;
+    mutable op : int array;
+    mutable dep1 : int array;
+    mutable dep2 : int array;
+    mutable addr : int array;
+    mutable pc : int array;
+    mutable taken : Bytes.t;
+    mutable target : int array;
+  }
+
+  let create ?(capacity = 1024) () =
+    let capacity = max 16 capacity in
+    {
+      n = 0;
+      op = Array.make capacity 0;
+      dep1 = Array.make capacity 0;
+      dep2 = Array.make capacity 0;
+      addr = Array.make capacity 0;
+      pc = Array.make capacity 0;
+      taken = Bytes.make capacity '\000';
+      target = Array.make capacity 0;
+    }
+
+  let grow b =
+    let cap = Array.length b.op in
+    let cap' = 2 * cap in
+    let extend a = Array.append a (Array.make cap 0) in
+    b.op <- extend b.op;
+    b.dep1 <- extend b.dep1;
+    b.dep2 <- extend b.dep2;
+    b.addr <- extend b.addr;
+    b.pc <- extend b.pc;
+    b.target <- extend b.target;
+    let taken' = Bytes.make cap' '\000' in
+    Bytes.blit b.taken 0 taken' 0 cap;
+    b.taken <- taken'
+
+  let add b (i : inst) =
+    if b.n >= Array.length b.op then grow b;
+    let k = b.n in
+    b.op.(k) <- Opcode.to_int i.op;
+    b.dep1.(k) <- i.dep1;
+    b.dep2.(k) <- i.dep2;
+    b.addr.(k) <- i.addr;
+    b.pc.(k) <- i.pc;
+    Bytes.set b.taken k (if i.taken then '\001' else '\000');
+    b.target.(k) <- i.target;
+    b.n <- k + 1
+
+  let length b = b.n
+
+  let finish b : trace
+      =
+    {
+      n = b.n;
+      op = Array.sub b.op 0 b.n;
+      dep1 = Array.sub b.dep1 0 b.n;
+      dep2 = Array.sub b.dep2 0 b.n;
+      addr = Array.sub b.addr 0 b.n;
+      pc = Array.sub b.pc 0 b.n;
+      taken = Bytes.sub b.taken 0 b.n;
+      target = Array.sub b.target 0 b.n;
+    }
+end
+
+let of_array instructions =
+  let b = Builder.create ~capacity:(Array.length instructions) () in
+  Array.iter (Builder.add b) instructions;
+  Builder.finish b
+
+let of_list instructions = of_array (Array.of_list instructions)
+
+let mix t =
+  let counts = Array.make (List.length Opcode.all) 0 in
+  for i = 0 to t.n - 1 do
+    counts.(t.op.(i)) <- counts.(t.op.(i)) + 1
+  done;
+  let total = float_of_int (max 1 t.n) in
+  Opcode.all
+  |> List.map (fun o -> (o, float_of_int counts.(Opcode.to_int o) /. total))
+  |> List.filter (fun (_, f) -> f > 0.)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let validate t =
+  let problem = ref None in
+  let fail i msg =
+    if !problem = None then
+      problem := Some (Printf.sprintf "instruction %d: %s" i msg)
+  in
+  for i = 0 to t.n - 1 do
+    if t.dep1.(i) < 0 || t.dep1.(i) > i then fail i "dep1 out of range";
+    if t.dep2.(i) < 0 || t.dep2.(i) > i then fail i "dep2 out of range";
+    let o = Opcode.of_int t.op.(i) in
+    if Opcode.is_memory o && t.addr.(i) < 0 then fail i "negative address";
+    if t.pc.(i) land 3 <> 0 then fail i "misaligned pc"
+  done;
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,53 @@
+(** Instruction traces.
+
+    A trace is an immutable, struct-of-arrays record of a program's dynamic
+    instruction stream: per instruction, its class, the distances (in
+    dynamic instructions) to the producers of its up-to-two source
+    operands, its effective memory address if it is a load or store, its
+    program counter, and — for control transfers — the taken outcome and
+    target.  Struct-of-arrays keeps a million-instruction trace in a few
+    flat arrays, which the cycle loop scans with no pointer chasing. *)
+
+type t
+
+type inst = {
+  op : Opcode.t;
+  dep1 : int;  (** distance to first producer; 0 = no register source *)
+  dep2 : int;  (** distance to second producer; 0 = none *)
+  addr : int;  (** byte address for loads/stores; ignored otherwise *)
+  pc : int;  (** byte PC of this instruction *)
+  taken : bool;  (** branch outcome; ignored for non-control *)
+  target : int;  (** byte target for control transfers *)
+}
+
+val length : t -> int
+val get : t -> int -> inst
+
+val op : t -> int -> Opcode.t
+val dep1 : t -> int -> int
+val dep2 : t -> int -> int
+val addr : t -> int -> int
+val pc : t -> int -> int
+val taken : t -> int -> bool
+val target : t -> int -> int
+
+val of_list : inst list -> t
+val of_array : inst array -> t
+
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val add : t -> inst -> unit
+  val length : t -> int
+  val finish : t -> trace
+end
+
+val mix : t -> (Opcode.t * float) list
+(** Fraction of instructions per class, descending. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency: dependency distances point inside the
+    trace prefix, memory ops have non-negative addresses, PCs are
+    4-byte aligned. *)

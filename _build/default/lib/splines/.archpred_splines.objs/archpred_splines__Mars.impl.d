@@ -1,0 +1,1 @@
+lib/splines/mars.ml: Archpred_linalg Array Float List

@@ -1,0 +1,1 @@
+lib/splines/mars.mli:

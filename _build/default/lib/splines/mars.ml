@@ -1,0 +1,128 @@
+module Matrix = Archpred_linalg.Matrix
+module Least_squares = Archpred_linalg.Least_squares
+
+type basis =
+  | Intercept
+  | Hinge of { dim : int; knot : float; positive : bool }
+
+type t = {
+  terms : basis list;
+  coefficients : float array;
+  gcv : float;
+}
+
+let basis_value b x =
+  match b with
+  | Intercept -> 1.
+  | Hinge { dim; knot; positive } ->
+      if positive then Float.max 0. (x.(dim) -. knot)
+      else Float.max 0. (knot -. x.(dim))
+
+let design terms points =
+  let terms = Array.of_list terms in
+  Matrix.init (Array.length points) (Array.length terms) (fun i j ->
+      basis_value terms.(j) points.(i))
+
+(* GCV with the usual MARS complexity charge of ~3 effective parameters
+   per basis function. *)
+let gcv_of ~p ~m rss =
+  let pf = float_of_int p in
+  let c = 1. +. (3. *. float_of_int m) in
+  if c >= pf then infinity
+  else rss /. pf /. ((1. -. (c /. pf)) ** 2.)
+
+let fit_terms terms points responses =
+  let h = design terms points in
+  let f = Least_squares.fit h responses in
+  let m = List.length terms in
+  (f, gcv_of ~p:(Array.length points) ~m f.Least_squares.rss)
+
+let quantile_knots points ~dim ~knots_per_dim =
+  let n = Array.length points in
+  List.init dim (fun k ->
+      let values = Array.map (fun x -> x.(k)) points in
+      Array.sort compare values;
+      List.init knots_per_dim (fun q ->
+          let pos =
+            (q + 1) * (n - 1) / (knots_per_dim + 1)
+          in
+          (k, values.(pos)))
+      |> List.sort_uniq compare)
+  |> List.concat
+
+let train ?(max_terms = 21) ?(knots_per_dim = 7) ~points ~responses () =
+  let p = Array.length points in
+  if p = 0 then invalid_arg "Mars.train: empty sample";
+  if Array.length responses <> p then
+    invalid_arg "Mars.train: points/responses mismatch";
+  let dim = Array.length points.(0) in
+  let knots = quantile_knots points ~dim ~knots_per_dim in
+  let candidates =
+    List.concat_map
+      (fun (k, t) ->
+        [
+          Hinge { dim = k; knot = t; positive = true };
+          Hinge { dim = k; knot = t; positive = false };
+        ])
+      knots
+  in
+  let current = ref [ Intercept ] in
+  let _, g0 = fit_terms !current points responses in
+  let best_gcv = ref g0 in
+  (* forward pass: greedily add the best hinge while GCV improves *)
+  let improved = ref true in
+  while !improved && List.length !current < max_terms do
+    improved := false;
+    let best_addition = ref None in
+    List.iter
+      (fun cand ->
+        if not (List.mem cand !current) then begin
+          let terms = !current @ [ cand ] in
+          if List.length terms < p then begin
+            let _, g = fit_terms terms points responses in
+            match !best_addition with
+            | Some (g', _) when g' <= g -> ()
+            | Some _ | None -> best_addition := Some (g, cand)
+          end
+        end)
+      candidates;
+    match !best_addition with
+    | Some (g, cand) when g < !best_gcv -. 1e-12 ->
+        current := !current @ [ cand ];
+        best_gcv := g;
+        improved := true
+    | Some _ | None -> ()
+  done;
+  (* backward pruning: drop terms while GCV improves *)
+  let pruned = ref true in
+  while !pruned do
+    pruned := false;
+    let best_removal = ref None in
+    List.iter
+      (fun term ->
+        if term <> Intercept then begin
+          let terms = List.filter (fun u -> u <> term) !current in
+          let _, g = fit_terms terms points responses in
+          match !best_removal with
+          | Some (g', _) when g' <= g -> ()
+          | Some _ | None -> best_removal := Some (g, term)
+        end)
+      !current;
+    match !best_removal with
+    | Some (g, term) when g < !best_gcv -. 1e-12 ->
+        current := List.filter (fun u -> u <> term) !current;
+        best_gcv := g;
+        pruned := true
+    | Some _ | None -> ()
+  done;
+  let fit, g = fit_terms !current points responses in
+  { terms = !current; coefficients = fit.Least_squares.coefficients; gcv = g }
+
+let predict t x =
+  List.fold_left2
+    (fun acc term w -> acc +. (w *. basis_value term x))
+    0. t.terms
+    (Array.to_list t.coefficients)
+
+let terms t = t.terms
+let gcv t = t.gcv

@@ -1,0 +1,37 @@
+(** Piecewise-linear regression splines, after Lee and Brooks (ASPLOS
+    2006).
+
+    Section 5 of the paper cites Lee and Brooks' regression splines as the
+    other contemporaneous technique for microarchitectural performance
+    prediction.  This is a compact MARS-style implementation: the model is
+    a linear combination of an intercept and hinge functions
+    [max(0, x_k - t)] / [max(0, t - x_k)], built by greedy forward
+    selection over data-driven knots with a generalised cross-validation
+    stopping rule, followed by a backward pruning pass. *)
+
+type basis =
+  | Intercept
+  | Hinge of { dim : int; knot : float; positive : bool }
+      (** [positive] selects [max(0, x - knot)]; otherwise
+          [max(0, knot - x)] *)
+
+type t
+
+val basis_value : basis -> float array -> float
+
+val train :
+  ?max_terms:int ->
+  ?knots_per_dim:int ->
+  points:float array array ->
+  responses:float array ->
+  unit ->
+  t
+(** Greedy forward selection of up to [max_terms] (default 21) basis
+    functions over [knots_per_dim] (default 7) quantile knots per
+    dimension, minimising GCV; then backward pruning while GCV improves.
+    Raises [Invalid_argument] on empty or mismatched data. *)
+
+val predict : t -> float array -> float
+val terms : t -> basis list
+val gcv : t -> float
+(** The selected model's GCV score (lower is better). *)

@@ -1,0 +1,32 @@
+type t = {
+  mean_pct : float;
+  std_pct : float;
+  max_pct : float;
+  rmse : float;
+}
+
+let absolute_percentage_errors ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then
+    invalid_arg "Error_metrics: length mismatch";
+  Array.init (Array.length actual) (fun i ->
+      if actual.(i) = 0. then
+        invalid_arg "Error_metrics: actual value is zero";
+      100. *. abs_float (predicted.(i) -. actual.(i)) /. abs_float actual.(i))
+
+let evaluate ~actual ~predicted =
+  let errs = absolute_percentage_errors ~actual ~predicted in
+  let sq = ref 0. in
+  for i = 0 to Array.length actual - 1 do
+    let d = predicted.(i) -. actual.(i) in
+    sq := !sq +. (d *. d)
+  done;
+  {
+    mean_pct = Descriptive.mean errs;
+    std_pct = Descriptive.std errs;
+    max_pct = Descriptive.max errs;
+    rmse = sqrt (!sq /. float_of_int (Array.length actual));
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "mean=%.2f%% std=%.2f%% max=%.2f%% rmse=%.4f" t.mean_pct
+    t.std_pct t.max_pct t.rmse

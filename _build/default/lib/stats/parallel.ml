@@ -1,0 +1,30 @@
+let default_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count ()))
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  if n < 2 || d = 1 then Array.map f xs
+  else begin
+    let d = min d n in
+    let results = Array.make n None in
+    let failure = Array.make d None in
+    (* Strided partition balances work when cost varies along the array. *)
+    let worker w () =
+      try
+        let i = ref w in
+        while !i < n do
+          results.(!i) <- Some (f xs.(!i));
+          i := !i + d
+        done
+      with e -> failure.(w) <- Some e
+    in
+    let handles = Array.init d (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join handles;
+    Array.iter (function Some e -> raise e | None -> ()) failure;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index is covered by some stride *))
+      results
+  end

@@ -1,0 +1,17 @@
+(** Parallel map over arrays using OCaml 5 domains.
+
+    Model building needs hundreds of independent simulator runs per
+    experiment; each run is pure (its inputs are immutable traces and
+    configurations), so they parallelise trivially across domains. *)
+
+val default_domains : unit -> int
+(** Number of domains used when [domains] is not given: the number of
+    recommended domains for this machine, capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] evaluates [f] on every element, splitting the work across
+    domains.  [f] must be safe to run concurrently (no shared mutable
+    state).  Results are in input order.  With [domains <= 1] or on arrays
+    of fewer than two elements, runs sequentially.  If any application
+    raises, the first exception (in scheduling order) is re-raised after
+    all domains join. *)

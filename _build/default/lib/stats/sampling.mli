@@ -1,0 +1,18 @@
+(** Permutations and subset sampling.
+
+    Latin hypercube sampling needs an independent random permutation of the
+    level indices in every design-space dimension; these helpers provide
+    that on top of {!Rng}. *)
+
+val shuffle_in_place : Rng.t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : Rng.t -> int -> int array
+(** [permutation rng n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val choose : Rng.t -> int -> int -> int array
+(** [choose rng k n] picks [k] distinct indices from [0 .. n-1], in random
+    order. Requires [0 <= k <= n]. *)
+
+val sample_floats : Rng.t -> int -> float array
+(** [sample_floats rng n] is [n] independent uniform draws from [\[0, 1)]. *)

@@ -1,0 +1,1 @@
+lib/workloads/extractor.ml: Archpred_sim Array Float Hashtbl List Option Profile

@@ -1,0 +1,1 @@
+lib/workloads/extractor.mli: Archpred_sim Profile

@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Archpred_sim Archpred_stats Array Float Hashtbl List Profile

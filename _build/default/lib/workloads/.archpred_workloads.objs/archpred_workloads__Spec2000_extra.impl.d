@@ -1,0 +1,1 @@
+lib/workloads/spec2000_extra.ml: List Profile Spec2000 String

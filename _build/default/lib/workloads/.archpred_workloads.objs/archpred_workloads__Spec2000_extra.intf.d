@@ -1,0 +1,1 @@
+lib/workloads/spec2000_extra.mli: Profile

@@ -1,0 +1,251 @@
+module Trace = Archpred_sim.Trace
+module Opcode = Archpred_sim.Opcode
+
+(* Fit the zipf exponent from the observed access share of the most popular
+   tenth of lines, by bisection on the theoretical share. *)
+let fit_zipf_s ~lines ~head_share =
+  if lines < 10 then 1.0
+  else begin
+    let head = max 1 (lines / 10) in
+    let share s =
+      (* sum of r^-s over the head / over all, computed coarsely *)
+      let total = ref 0. and top = ref 0. in
+      for r = 1 to lines do
+        let v = float_of_int r ** -.s in
+        total := !total +. v;
+        if r <= head then top := !top +. v
+      done;
+      !top /. !total
+    in
+    let rec bisect lo hi iters =
+      if iters = 0 then 0.5 *. (lo +. hi)
+      else
+        let mid = 0.5 *. (lo +. hi) in
+        if share mid < head_share then bisect mid hi (iters - 1)
+        else bisect lo mid (iters - 1)
+    in
+    Float.max 0. (Float.min 2. (bisect 0. 2. 20))
+  end
+
+type region_acc = {
+  mutable accesses : int;
+  mutable strided : int;
+  mutable last_addr : int;
+  lines : (int, int) Hashtbl.t;
+}
+
+let profile_of_trace ?(name = "extracted") trace =
+  let n = Trace.length trace in
+  if n = 0 then invalid_arg "Extractor.profile_of_trace: empty trace";
+  let nf = float_of_int n in
+  (* --- instruction mix --- *)
+  let count = Array.make 11 0 in
+  for i = 0 to n - 1 do
+    count.(Opcode.to_int (Trace.op trace i)) <- count.(Opcode.to_int (Trace.op trace i)) + 1
+  done;
+  let frac o = float_of_int count.(Opcode.to_int o) /. nf in
+  (* --- dependency geometry --- *)
+  let dep_sum = ref 0 and dep_n = ref 0 and dep2_n = ref 0 in
+  let chase = ref 0 and loads = ref 0 in
+  for i = 0 to n - 1 do
+    let d1 = Trace.dep1 trace i in
+    if d1 > 0 then begin
+      dep_sum := !dep_sum + d1;
+      incr dep_n
+    end;
+    if Trace.dep2 trace i > 0 then incr dep2_n;
+    if Trace.op trace i = Opcode.Load then begin
+      incr loads;
+      if d1 > 0 && Trace.op trace (i - d1) = Opcode.Load then incr chase
+    end
+  done;
+  let mean_dep =
+    if !dep_n = 0 then 2. else float_of_int !dep_sum /. float_of_int !dep_n
+  in
+  (* geometric with support 1,2,...: mean = 1 + (1-p)/p  =>  p = 1/mean *)
+  let dep_p = Float.max 0.05 (Float.min 1. (1. /. Float.max 1. mean_dep)) in
+  (* --- code footprint --- *)
+  let code_lines = Hashtbl.create 1024 in
+  for i = 0 to n - 1 do
+    let line = Trace.pc trace i lsr 6 in
+    Hashtbl.replace code_lines line
+      (1 + Option.value ~default:0 (Hashtbl.find_opt code_lines line))
+  done;
+  let code_bytes = max 256 (Hashtbl.length code_lines * 64) in
+  let code_zipf_s =
+    let lines = Hashtbl.length code_lines in
+    let counts =
+      Hashtbl.fold (fun _ v acc -> v :: acc) code_lines []
+      |> List.sort (fun a b -> compare b a)
+    in
+    let head = max 1 (lines / 10) in
+    let head_hits =
+      List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < head) counts)
+    in
+    fit_zipf_s ~lines ~head_share:(float_of_int head_hits /. float_of_int n)
+  in
+  (* --- data regions: cluster by 16MB address windows --- *)
+  let clusters : (int, region_acc) Hashtbl.t = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    if Opcode.is_memory (Trace.op trace i) then begin
+      let addr = Trace.addr trace i in
+      let key = addr lsr 24 in
+      let c =
+        match Hashtbl.find_opt clusters key with
+        | Some c -> c
+        | None ->
+            let c =
+              { accesses = 0; strided = 0; last_addr = min_int; lines = Hashtbl.create 64 }
+            in
+            Hashtbl.add clusters key c;
+            c
+      in
+      c.accesses <- c.accesses + 1;
+      if addr = c.last_addr + 8 then c.strided <- c.strided + 1;
+      c.last_addr <- addr;
+      let line = addr lsr 6 in
+      Hashtbl.replace c.lines line
+        (1 + Option.value ~default:0 (Hashtbl.find_opt c.lines line))
+    end
+  done;
+  let total_mem =
+    Hashtbl.fold (fun _ c acc -> acc + c.accesses) clusters 0
+  in
+  let region_of c : Profile.region =
+    let lines = Hashtbl.length c.lines in
+    let bytes = max 4096 (lines * 64) in
+    (* head concentration: share of accesses on the most popular tenth *)
+    let counts =
+      Hashtbl.fold (fun _ v acc -> v :: acc) c.lines [] |> List.sort (fun a b -> compare b a)
+    in
+    let head = max 1 (lines / 10) in
+    let head_hits =
+      List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < head) counts)
+    in
+    let head_share = float_of_int head_hits /. float_of_int (max 1 c.accesses) in
+    {
+      Profile.bytes;
+      weight = float_of_int c.accesses /. float_of_int (max 1 total_mem);
+      stride_frac =
+        Float.min 1. (float_of_int c.strided /. float_of_int (max 1 c.accesses));
+      zipf_s = fit_zipf_s ~lines ~head_share;
+    }
+  in
+  (* at most three regions, ordered by footprint (hot = smallest) *)
+  let regions =
+    Hashtbl.fold (fun _ c acc -> c :: acc) clusters []
+    |> List.filter (fun c -> c.accesses > 0)
+    |> List.map region_of
+    |> List.sort (fun (a : Profile.region) b -> compare a.bytes b.bytes)
+  in
+  let default_region w : Profile.region =
+    { bytes = 4096; weight = w; stride_frac = 0.1; zipf_s = 1. }
+  in
+  let hot, warm, cold =
+    match regions with
+    | [] -> (default_region 1., default_region 0., default_region 0.)
+    | [ a ] -> (a, default_region 0., default_region 0.)
+    | [ a; b ] -> (a, b, default_region 0.)
+    | a :: rest ->
+        (* fold extra clusters into the largest one, summing weights *)
+        let rec last_and_middle acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> last_and_middle (x :: acc) rest
+          | [] -> assert false
+        in
+        let middle, last = last_and_middle [] rest in
+        let mid_weight =
+          List.fold_left (fun s (r : Profile.region) -> s +. r.weight) 0. middle
+        in
+        let warm =
+          match middle with
+          | m :: _ -> { m with Profile.weight = mid_weight }
+          | [] -> default_region 0.
+        in
+        (a, warm, last)
+  in
+  (* renormalise weights to sum exactly to 1 *)
+  let wsum = hot.Profile.weight +. warm.Profile.weight +. cold.Profile.weight in
+  let scale (r : Profile.region) =
+    { r with Profile.weight = (if wsum > 0. then r.weight /. wsum else 1. /. 3.) }
+  in
+  let hot = scale hot and warm = scale warm and cold = scale cold in
+  (* --- branch behaviour --- *)
+  let static : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 256 in
+  (* pc -> (taken, total, backward_taken, taken_runs) *)
+  let run_len : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let run_sum = ref 0 and run_count = ref 0 in
+  for i = 0 to n - 1 do
+    if Trace.op trace i = Opcode.Branch then begin
+      let pc = Trace.pc trace i in
+      let taken = Trace.taken trace i in
+      let backward = Trace.target trace i <= pc in
+      let t, tot, bw, runs =
+        Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt static pc)
+      in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt run_len pc) in
+      if taken then Hashtbl.replace run_len pc (cur + 1)
+      else begin
+        if cur > 0 then begin
+          run_sum := !run_sum + cur;
+          incr run_count
+        end;
+        Hashtbl.replace run_len pc 0
+      end;
+      Hashtbl.replace static pc
+        ( (if taken then t + 1 else t),
+          tot + 1,
+          (if taken && backward then bw + 1 else bw),
+          runs )
+    end
+  done;
+  let loop_n = ref 0 and biased_n = ref 0 and hard_n = ref 0 in
+  let biased_sum = ref 0. in
+  Hashtbl.iter
+    (fun _ (t, tot, bw, _) ->
+      if tot >= 4 then begin
+        let rate = float_of_int t /. float_of_int tot in
+        let mostly_backward = bw * 2 > t in
+        if rate >= 0.6 && mostly_backward then incr loop_n
+        else if rate >= 0.75 || rate <= 0.25 then begin
+          incr biased_n;
+          biased_sum := !biased_sum +. Float.max rate (1. -. rate)
+        end
+        else incr hard_n
+      end)
+    static;
+  let classified = max 1 (!loop_n + !biased_n + !hard_n) in
+  let profile : Profile.t =
+    {
+      name;
+      description = "profile extracted from a trace (statistical simulation)";
+      load_frac = frac Opcode.Load;
+      store_frac = frac Opcode.Store;
+      branch_frac = frac Opcode.Branch;
+      jump_frac = frac Opcode.Jump;
+      imul_frac = frac Opcode.Imul;
+      idiv_frac = frac Opcode.Idiv;
+      fadd_frac = frac Opcode.Fadd;
+      fmul_frac = frac Opcode.Fmul;
+      fdiv_frac = frac Opcode.Fdiv;
+      dep_p;
+      dep2_prob = float_of_int !dep2_n /. nf;
+      code_bytes;
+      code_zipf_s;
+      hot;
+      warm;
+      cold;
+      chase_frac =
+        Float.min 1. (float_of_int !chase /. float_of_int (max 1 !loads));
+      loop_frac = float_of_int !loop_n /. float_of_int classified;
+      biased_frac = float_of_int !biased_n /. float_of_int classified;
+      loop_mean_iters =
+        (if !run_count = 0 then 8 else max 1 (!run_sum / !run_count));
+      biased_p =
+        (if !biased_n = 0 then 0.9
+         else Float.min 0.99 (!biased_sum /. float_of_int !biased_n));
+    }
+  in
+  match Profile.validate profile with
+  | Ok () -> profile
+  | Error msg -> invalid_arg ("Extractor.profile_of_trace: " ^ msg)

@@ -1,0 +1,28 @@
+(** Profile extraction: statistical simulation support.
+
+    Statistical simulation (Oskin et al., Eeckhout et al. — section 5 of
+    the paper) profiles a program's execution, then drives simulation with
+    a short synthetic trace regenerated from the profile.  This module is
+    the profiling half on our substrate: it measures a {!Profile.t} from
+    any trace, so {!Generator.generate} can act as the regeneration half.
+    The [stat_sim] experiment quantifies how well a regenerated clone
+    tracks its original across the design space — the accuracy question the
+    paper raises about the technique.
+
+    Estimators (all single-pass or two-pass, documented per field):
+    - instruction mix: direct counts;
+    - dependency geometry: method-of-moments fit of the geometric
+      parameter from the mean dependency distance;
+    - code footprint: distinct instruction lines touched;
+    - data regions: accesses are clustered by 16MB address windows into at
+      most three regions ordered by footprint; per region, the streaming
+      fraction is the share of accesses at +8 bytes from the region's
+      previous access, and the Zipf exponent is fitted from the access
+      share of the most popular tenth of the region's lines;
+    - branch behaviour: per static branch, the taken rate classifies it as
+      biased or hard; backward-taken branches with long taken runs count
+      as loops, with the mean run length as the iteration count. *)
+
+val profile_of_trace : ?name:string -> Archpred_sim.Trace.t -> Profile.t
+(** Measure a profile from a trace.  The result always satisfies
+    [Profile.validate].  Raises [Invalid_argument] on an empty trace. *)

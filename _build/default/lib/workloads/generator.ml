@@ -1,0 +1,224 @@
+module Rng = Archpred_stats.Rng
+module Dist = Archpred_stats.Distributions
+module Trace = Archpred_sim.Trace
+module Opcode = Archpred_sim.Opcode
+
+(* Address-space layout: code, then one disjoint base per data region. *)
+let code_base = 0x0040_0000
+let hot_base = 0x1000_0000
+let warm_base = 0x2000_0000
+let cold_base = 0x4000_0000
+
+type region_state = {
+  region : Profile.region;
+  base : int;
+  mutable cursor : int;
+}
+
+let region_address rng rs =
+  let r = rs.region in
+  if Rng.unit_float rng < r.stride_frac then begin
+    (* Streaming access: advance sequentially, wrapping at the region end. *)
+    rs.cursor <- (rs.cursor + 8) mod r.bytes;
+    rs.base + rs.cursor
+  end
+  else begin
+    let lines = max 1 (r.bytes / 64) in
+    let line = Dist.zipf rng ~n:lines ~s:r.zipf_s in
+    rs.base + (line * 64) + (8 * Rng.int rng 8)
+  end
+
+(* Static terminator behaviour classes. *)
+type branch_class = Loop | Biased of float | Hard
+
+type block = {
+  start_pc : int;
+  body_len : int;  (* instructions before the terminator *)
+  is_jump : bool;
+  cls : branch_class;
+  mutable loop_left : int;
+}
+
+let generate ?(seed = 42) (p : Profile.t) ~length =
+  (match Profile.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator.generate: " ^ msg));
+  if length <= 0 then invalid_arg "Generator.generate: length <= 0";
+  let rng = Rng.create (seed lxor Hashtbl.hash p.name) in
+  let cf = Float.max 0.01 (Profile.control_frac p) in
+  let mean_block = 1. /. cf in
+
+  (* --- static skeleton --- *)
+  let target_insts = max 8 (p.code_bytes / 4) in
+  let draw_loop_iters () =
+    1 + Dist.geometric rng ~p:(1. /. float_of_int (max 1 p.loop_mean_iters))
+  in
+  let blocks =
+    let acc = ref [] and insts = ref 0 in
+    while !insts < target_insts do
+      let body_len =
+        1 + Dist.geometric rng ~p:(Float.min 1. (1. /. Float.max 1. (mean_block -. 1.)))
+      in
+      let is_jump =
+        Rng.unit_float rng < p.jump_frac /. Float.max 1e-9 cf
+      in
+      let cls =
+        let u = Rng.unit_float rng in
+        if u < p.loop_frac then Loop
+        else if u < p.loop_frac +. p.biased_frac then
+          Biased (if Rng.bool rng then p.biased_p else 1. -. p.biased_p)
+        else Hard
+      in
+      let b =
+        {
+          start_pc = code_base + (4 * !insts);
+          body_len;
+          is_jump;
+          cls;
+          loop_left = draw_loop_iters ();
+        }
+      in
+      insts := !insts + body_len + 1;
+      acc := b :: !acc
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let nblocks = Array.length blocks in
+
+  (* --- dynamic state --- *)
+  let hot = { region = p.hot; base = hot_base; cursor = 0 } in
+  let warm = { region = p.warm; base = warm_base; cursor = 0 } in
+  let cold = { region = p.cold; base = cold_base; cursor = 0 } in
+  let region_weights = [| p.hot.weight; p.warm.weight; p.cold.weight |] in
+  let pick_region () =
+    match Dist.categorical rng region_weights with
+    | 0 -> hot
+    | 1 -> warm
+    | _ -> cold
+  in
+  (* Zipf-popular successors concentrate execution on hot blocks; the
+     profile's skew controls how much of the footprint stays warm. *)
+  let successor () = Dist.zipf rng ~n:nblocks ~s:p.code_zipf_s in
+  let body_mix =
+    let scale = 1. -. cf in
+    let ialu =
+      Float.max 0.
+        (scale
+        -. (p.load_frac +. p.store_frac +. p.imul_frac +. p.idiv_frac
+          +. p.fadd_frac +. p.fmul_frac +. p.fdiv_frac))
+    in
+    Dist.alias_of_weighted
+      [|
+        (Opcode.Ialu, ialu);
+        (Opcode.Imul, p.imul_frac);
+        (Opcode.Idiv, p.idiv_frac);
+        (Opcode.Fadd, p.fadd_frac);
+        (Opcode.Fmul, p.fmul_frac);
+        (Opcode.Fdiv, p.fdiv_frac);
+        (Opcode.Load, p.load_frac);
+        (Opcode.Store, p.store_frac);
+      |]
+  in
+  let builder = Trace.Builder.create ~capacity:length () in
+  let last_chase = ref (-1) in
+  let geom_dep i =
+    let d = 1 + Dist.geometric rng ~p:p.dep_p in
+    if d > i then 0 else d
+  in
+  let emit_body i pc =
+    let op = Dist.alias_draw rng body_mix in
+    match op with
+    | Opcode.Load ->
+        if Rng.unit_float rng < p.chase_frac then begin
+          (* Pointer chase: address produced by the previous chase load,
+             landing somewhere unpredictable in the cold region. *)
+          let dep1 = if !last_chase >= 0 then i - !last_chase else geom_dep i in
+          let dep1 = if dep1 > i then 0 else dep1 in
+          last_chase := i;
+          let lines = max 1 (p.cold.bytes / 64) in
+          let addr = cold_base + (64 * Dist.zipf rng ~n:lines ~s:0.5) in
+          Trace.Builder.add builder
+            { op; dep1; dep2 = 0; addr; pc; taken = false; target = 0 }
+        end
+        else
+          Trace.Builder.add builder
+            {
+              op;
+              dep1 = geom_dep i;
+              dep2 = 0;
+              addr = region_address rng (pick_region ());
+              pc;
+              taken = false;
+              target = 0;
+            }
+    | Opcode.Store ->
+        Trace.Builder.add builder
+          {
+            op;
+            dep1 = geom_dep i;
+            dep2 = geom_dep i;
+            addr = region_address rng (pick_region ());
+            pc;
+            taken = false;
+            target = 0;
+          }
+    | Opcode.Ialu | Opcode.Imul | Opcode.Idiv | Opcode.Fadd | Opcode.Fmul
+    | Opcode.Fdiv | Opcode.Branch | Opcode.Jump | Opcode.Nop ->
+        let dep2 = if Rng.unit_float rng < p.dep2_prob then geom_dep i else 0 in
+        Trace.Builder.add builder
+          { op; dep1 = geom_dep i; dep2; addr = 0; pc; taken = false; target = 0 }
+  in
+
+  let cur = ref 0 (* block index *) in
+  let pos = ref 0 (* instruction offset within block *) in
+  while Trace.Builder.length builder < length do
+    let b = blocks.(!cur) in
+    let i = Trace.Builder.length builder in
+    let pc = b.start_pc + (4 * !pos) in
+    if !pos < b.body_len then begin
+      emit_body i pc;
+      incr pos
+    end
+    else begin
+      (* Terminator. *)
+      let next_seq = (!cur + 1) mod nblocks in
+      let taken, next =
+        if b.is_jump then (true, successor ())
+        else
+          match b.cls with
+          | Loop ->
+              if b.loop_left > 0 then begin
+                b.loop_left <- b.loop_left - 1;
+                (true, !cur)
+              end
+              else begin
+                b.loop_left <- draw_loop_iters ();
+                (false, next_seq)
+              end
+          | Biased bias ->
+              if Rng.unit_float rng < bias then (true, successor ())
+              else (false, next_seq)
+          | Hard ->
+              if Rng.bool rng then (true, successor ()) else (false, next_seq)
+      in
+      let op = if b.is_jump then Opcode.Jump else Opcode.Branch in
+      let dep1 = if b.is_jump then 0 else geom_dep i in
+      Trace.Builder.add builder
+        {
+          op;
+          dep1;
+          dep2 = 0;
+          addr = 0;
+          pc;
+          taken;
+          target = blocks.(next).start_pc;
+        };
+      cur := next;
+      pos := 0
+    end
+  done;
+  let trace = Trace.Builder.finish builder in
+  (match Trace.validate trace with
+  | Ok () -> ()
+  | Error msg -> failwith ("Generator.generate: invalid trace: " ^ msg));
+  trace

@@ -1,0 +1,17 @@
+(** Synthetic trace generation from a workload profile.
+
+    The generator builds a static program skeleton — basic blocks laid out
+    over the profile's code footprint, each ending in a branch or jump with
+    a fixed behaviour class — and then walks it, emitting dynamic
+    instructions whose operands, dependencies and memory addresses follow
+    the profile's distributions.  Control flow between blocks is
+    Zipf-distributed, so a hot inner code region emerges naturally and the
+    L1I behaves as it would on real code of that footprint.
+
+    Generation is deterministic in (profile, seed, length). *)
+
+val generate :
+  ?seed:int -> Profile.t -> length:int -> Archpred_sim.Trace.t
+(** [generate profile ~length] produces a validated trace of exactly
+    [length] instructions. Raises [Invalid_argument] if the profile fails
+    {!Profile.validate} or [length <= 0]. *)

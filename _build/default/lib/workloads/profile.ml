@@ -1,0 +1,105 @@
+type region = {
+  bytes : int;
+  weight : float;
+  stride_frac : float;
+  zipf_s : float;
+}
+
+type t = {
+  name : string;
+  description : string;
+  load_frac : float;
+  store_frac : float;
+  branch_frac : float;
+  jump_frac : float;
+  imul_frac : float;
+  idiv_frac : float;
+  fadd_frac : float;
+  fmul_frac : float;
+  fdiv_frac : float;
+  dep_p : float;
+  dep2_prob : float;
+  code_bytes : int;
+  code_zipf_s : float;
+  hot : region;
+  warm : region;
+  cold : region;
+  chase_frac : float;
+  loop_frac : float;
+  biased_frac : float;
+  loop_mean_iters : int;
+  biased_p : float;
+}
+
+let control_frac t = t.branch_frac +. t.jump_frac
+
+let validate t =
+  let in_unit name v =
+    if v < 0. || v > 1. then Error (name ^ " outside [0,1]") else Ok ()
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* () = in_unit "load_frac" t.load_frac in
+  let* () = in_unit "store_frac" t.store_frac in
+  let* () = in_unit "branch_frac" t.branch_frac in
+  let* () = in_unit "jump_frac" t.jump_frac in
+  let* () = in_unit "imul_frac" t.imul_frac in
+  let* () = in_unit "idiv_frac" t.idiv_frac in
+  let* () = in_unit "fadd_frac" t.fadd_frac in
+  let* () = in_unit "fmul_frac" t.fmul_frac in
+  let* () = in_unit "fdiv_frac" t.fdiv_frac in
+  let* () = in_unit "dep2_prob" t.dep2_prob in
+  let* () = in_unit "chase_frac" t.chase_frac in
+  let* () = in_unit "loop_frac" t.loop_frac in
+  let* () = in_unit "biased_frac" t.biased_frac in
+  let* () = in_unit "biased_p" t.biased_p in
+  let opsum =
+    t.load_frac +. t.store_frac +. t.branch_frac +. t.jump_frac
+    +. t.imul_frac +. t.idiv_frac +. t.fadd_frac +. t.fmul_frac
+    +. t.fdiv_frac
+  in
+  let* () =
+    if opsum > 1. +. 1e-9 then Error "opcode fractions sum beyond 1" else Ok ()
+  in
+  let* () =
+    if t.loop_frac +. t.biased_frac > 1. +. 1e-9 then
+      Error "branch class fractions sum beyond 1"
+    else Ok ()
+  in
+  let* () =
+    if t.dep_p <= 0. || t.dep_p > 1. then Error "dep_p outside (0,1]" else Ok ()
+  in
+  let* () =
+    if t.code_bytes < 256 then Error "code_bytes too small" else Ok ()
+  in
+  let* () =
+    if t.code_zipf_s < 0. then Error "code_zipf_s < 0" else Ok ()
+  in
+  let* () =
+    if t.loop_mean_iters < 1 then Error "loop_mean_iters < 1" else Ok ()
+  in
+  let region name (r : region) =
+    let* () = in_unit (name ^ ".weight") r.weight in
+    let* () = in_unit (name ^ ".stride_frac") r.stride_frac in
+    let* () =
+      if r.bytes < 64 then Error (name ^ ".bytes too small") else Ok ()
+    in
+    if r.zipf_s < 0. then Error (name ^ ".zipf_s < 0") else Ok ()
+  in
+  let* () = region "hot" t.hot in
+  let* () = region "warm" t.warm in
+  let* () = region "cold" t.cold in
+  let wsum = t.hot.weight +. t.warm.weight +. t.cold.weight in
+  if abs_float (wsum -. 1.) > 1e-6 then Error "region weights must sum to 1"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %s@ mix: ld=%.2f st=%.2f br=%.2f jmp=%.2f mul=%.3f div=%.3f \
+     fadd=%.2f fmul=%.2f fdiv=%.3f@ deps: p=%.2f dep2=%.2f@ code=%dKB \
+     regions: hot=%dKB/%.2f warm=%dKB/%.2f cold=%dKB/%.2f@ chase=%.2f \
+     branches: loop=%.2f biased=%.2f iters=%d p=%.2f@]"
+    t.name t.description t.load_frac t.store_frac t.branch_frac t.jump_frac
+    t.imul_frac t.idiv_frac t.fadd_frac t.fmul_frac t.fdiv_frac t.dep_p
+    t.dep2_prob (t.code_bytes / 1024) (t.hot.bytes / 1024) t.hot.weight
+    (t.warm.bytes / 1024) t.warm.weight (t.cold.bytes / 1024) t.cold.weight
+    t.chase_frac t.loop_frac t.biased_frac t.loop_mean_iters t.biased_p

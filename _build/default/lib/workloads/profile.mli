@@ -1,0 +1,71 @@
+(** Workload profiles: the statistical shape of a benchmark.
+
+    The paper simulates SPEC CPU2000 programs on MinneSPEC inputs; those
+    traces are proprietary, so this library generates synthetic traces from
+    profiles that capture the properties the nine design parameters
+    interact with:
+
+    - the instruction mix (memory/branch/FP intensity → functional-unit,
+      LSQ and cache pressure);
+    - dependency-distance distribution (instruction-level parallelism →
+      ROB/IQ sensitivity);
+    - code footprint (L1I-size sensitivity);
+    - a three-region data model — a hot region that fits any L1, a warm
+      region around L1/L2 scale, a cold region at L2/DRAM scale — with
+      per-region streaming fractions (L1D/L2-size sensitivity and DRAM
+      behaviour);
+    - a pointer-chasing fraction: loads whose address depends on the
+      previous load, forming serial miss chains (the *mcf* signature);
+    - static-branch behaviour classes: loops, biased branches, and
+      hard-to-predict branches (branch-predictor accuracy, pipeline-depth
+      sensitivity). *)
+
+type region = {
+  bytes : int;  (** region size; addresses fall within it *)
+  weight : float;  (** share of memory accesses hitting this region *)
+  stride_frac : float;  (** share of the region's accesses that stream
+                            sequentially (spatial locality); the rest are
+                            Zipf-distributed over the region's lines *)
+  zipf_s : float;  (** skew of the non-streaming accesses *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  load_frac : float;
+  store_frac : float;
+  branch_frac : float;
+  jump_frac : float;
+  imul_frac : float;
+  idiv_frac : float;
+  fadd_frac : float;
+  fmul_frac : float;
+  fdiv_frac : float;  (** remaining fraction is single-cycle integer ALU *)
+  dep_p : float;  (** geometric parameter of dependency distances; larger
+                      means shorter distances and less ILP *)
+  dep2_prob : float;  (** probability an instruction has a second source *)
+  code_bytes : int;  (** static code footprint *)
+  code_zipf_s : float;  (** skew of block popularity: large values
+                            concentrate execution on a small hot region,
+                            small values spread it across the footprint
+                            (more L1I pressure) *)
+  hot : region;
+  warm : region;
+  cold : region;
+  chase_frac : float;  (** share of loads that pointer-chase *)
+  loop_frac : float;  (** share of static branches that are loop exits *)
+  biased_frac : float;  (** share that are strongly biased; the remainder
+                            are 50/50 hard branches *)
+  loop_mean_iters : int;
+  biased_p : float;  (** taken probability of a biased branch *)
+}
+
+val validate : t -> (unit, string) result
+(** Check that all fractions are in [0,1], the opcode fractions sum to at
+    most 1, region weights sum to 1 (within tolerance), and sizes are
+    positive. *)
+
+val control_frac : t -> float
+(** [branch_frac + jump_frac]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let region ~bytes ~weight ~stride_frac ~zipf_s : Profile.region =
+  { bytes; weight; stride_frac; zipf_s }
+
+let gzip : Profile.t =
+  {
+    name = "164.gzip";
+    description = "LZ77 compression; tight loops, small working set";
+    load_frac = 0.24;
+    store_frac = 0.09;
+    branch_frac = 0.15;
+    jump_frac = 0.01;
+    imul_frac = 0.005;
+    idiv_frac = 0.;
+    fadd_frac = 0.;
+    fmul_frac = 0.;
+    fdiv_frac = 0.;
+    dep_p = 0.45;
+    dep2_prob = 0.5;
+    code_bytes = kb 8;
+    code_zipf_s = 1.3;
+    hot = region ~bytes:(kb 8) ~weight:0.60 ~stride_frac:0.35 ~zipf_s:1.2;
+    warm = region ~bytes:(kb 192) ~weight:0.36 ~stride_frac:0.4 ~zipf_s:1.1;
+    cold = region ~bytes:(mb 1) ~weight:0.04 ~stride_frac:0.3 ~zipf_s:0.9;
+    chase_frac = 0.02;
+    loop_frac = 0.40;
+    biased_frac = 0.50;
+    loop_mean_iters = 14;
+    biased_p = 0.94;
+  }
+
+let gcc : Profile.t =
+  {
+    name = "176.gcc";
+    description = "compiler; the suite's largest code footprint";
+    load_frac = 0.26;
+    store_frac = 0.12;
+    branch_frac = 0.14;
+    jump_frac = 0.04;
+    imul_frac = 0.005;
+    idiv_frac = 0.001;
+    fadd_frac = 0.;
+    fmul_frac = 0.;
+    fdiv_frac = 0.;
+    dep_p = 0.42;
+    dep2_prob = 0.5;
+    code_bytes = kb 120;
+    code_zipf_s = 0.6;
+    hot = region ~bytes:(kb 8) ~weight:0.50 ~stride_frac:0.2 ~zipf_s:1.2;
+    warm = region ~bytes:(kb 384) ~weight:0.42 ~stride_frac:0.15 ~zipf_s:1.1;
+    cold = region ~bytes:(mb 3) ~weight:0.08 ~stride_frac:0.1 ~zipf_s:0.75;
+    chase_frac = 0.06;
+    loop_frac = 0.20;
+    biased_frac = 0.62;
+    loop_mean_iters = 5;
+    biased_p = 0.91;
+  }
+
+let art : Profile.t =
+  {
+    name = "179.art";
+    description = "FP neural-net image recognition; cache-thrashing arrays";
+    load_frac = 0.32;
+    store_frac = 0.06;
+    branch_frac = 0.07;
+    jump_frac = 0.01;
+    imul_frac = 0.005;
+    idiv_frac = 0.;
+    fadd_frac = 0.18;
+    fmul_frac = 0.15;
+    fdiv_frac = 0.002;
+    dep_p = 0.32;
+    dep2_prob = 0.6;
+    code_bytes = kb 6;
+    code_zipf_s = 1.3;
+    hot = region ~bytes:(kb 6) ~weight:0.25 ~stride_frac:0.3 ~zipf_s:1.1;
+    warm = region ~bytes:(mb 3) ~weight:0.55 ~stride_frac:0.75 ~zipf_s:0.7;
+    cold = region ~bytes:(mb 10) ~weight:0.20 ~stride_frac:0.7 ~zipf_s:0.55;
+    chase_frac = 0.01;
+    loop_frac = 0.55;
+    biased_frac = 0.40;
+    loop_mean_iters = 40;
+    biased_p = 0.96;
+  }
+
+let swim : Profile.t =
+  {
+    name = "171.swim";
+    description = "FP shallow-water model; long streaming array sweeps";
+    load_frac = 0.31;
+    store_frac = 0.10;
+    branch_frac = 0.04;
+    jump_frac = 0.005;
+    imul_frac = 0.005;
+    idiv_frac = 0.;
+    fadd_frac = 0.20;
+    fmul_frac = 0.14;
+    fdiv_frac = 0.001;
+    dep_p = 0.28;
+    dep2_prob = 0.65;
+    code_bytes = kb 6;
+    code_zipf_s = 1.4;
+    hot = region ~bytes:(kb 8) ~weight:0.20 ~stride_frac:0.5 ~zipf_s:1.0;
+    warm = region ~bytes:(mb 2) ~weight:0.45 ~stride_frac:0.85 ~zipf_s:0.7;
+    cold = region ~bytes:(mb 12) ~weight:0.35 ~stride_frac:0.9 ~zipf_s:0.5;
+    chase_frac = 0.005;
+    loop_frac = 0.65;
+    biased_frac = 0.32;
+    loop_mean_iters = 48;
+    biased_p = 0.97;
+  }
+
+let all = [ gzip; gcc; art; swim ]
+let everything = Spec2000.all @ all
+
+let find name =
+  let matches (p : Profile.t) =
+    String.equal p.name name
+    ||
+    match String.index_opt p.name '.' with
+    | Some i ->
+        String.equal
+          (String.sub p.name (i + 1) (String.length p.name - i - 1))
+          name
+    | None -> false
+  in
+  List.find_opt matches everything

@@ -1,0 +1,1 @@
+test/test_ann.ml: Alcotest Archpred_ann Archpred_stats Array

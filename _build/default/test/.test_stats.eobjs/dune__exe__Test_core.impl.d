@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Archpred_core Archpred_design Archpred_linreg Archpred_sim Archpred_stats Archpred_workloads Array Filename Float Fun List QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Archpred_design Archpred_stats Array Hashtbl List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Archpred_experiments Archpred_workloads Format List

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Archpred_linalg Archpred_stats Array Float QCheck2 QCheck_alcotest

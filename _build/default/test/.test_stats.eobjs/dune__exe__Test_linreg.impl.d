@@ -1,0 +1,1 @@
+test/test_linreg.ml: Alcotest Archpred_linreg Archpred_stats Array List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rbf.ml: Alcotest Archpred_linalg Archpred_rbf Archpred_regtree Archpred_stats Array Float List QCheck2 QCheck_alcotest

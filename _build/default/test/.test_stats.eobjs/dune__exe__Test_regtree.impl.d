@@ -1,0 +1,1 @@
+test/test_regtree.ml: Alcotest Archpred_regtree Archpred_stats Array List QCheck2 QCheck_alcotest

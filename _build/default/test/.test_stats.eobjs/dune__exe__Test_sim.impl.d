@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Archpred_sim Archpred_stats Archpred_workloads Array Filename Fun List QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_splines.ml: Alcotest Archpred_splines Archpred_stats Array List

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Archpred_stats Array Float Fun QCheck2 QCheck_alcotest

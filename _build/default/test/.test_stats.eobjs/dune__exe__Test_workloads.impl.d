@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Archpred_sim Archpred_workloads List QCheck2 QCheck_alcotest

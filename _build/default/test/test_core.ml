@@ -1,0 +1,610 @@
+(* Tests for archpred.core: the paper's design space, responses, model
+   tuning, the BuildRBFmodel procedure, predictors, trend sweeps and
+   model-driven search.  Simulator-backed cases use short traces. *)
+
+module Design = Archpred_design
+module Core = Archpred_core
+module Paper_space = Core.Paper_space
+module Response = Core.Response
+module Build = Core.Build
+module Tune = Core.Tune
+module Predictor = Core.Predictor
+module Trend = Core.Trend
+module Search = Core.Search
+module Sim = Archpred_sim
+module Rng = Archpred_stats.Rng
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- Paper_space ---------- *)
+
+let test_space_dimension () =
+  Alcotest.(check int) "nine parameters" 9 Paper_space.dim;
+  Alcotest.(check int) "names" 9 (Array.length Paper_space.param_names)
+
+let test_space_corner_configs_valid () =
+  (* both extreme corners decode into valid simulator configurations *)
+  List.iter
+    (fun u ->
+      let point = Array.make 9 u in
+      let cfg = Paper_space.to_config point in
+      match Sim.Config.validate cfg with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "corner %g invalid: %s" u m)
+    [ 0.; 1. ]
+
+let test_space_decoding_ranges () =
+  let lo = Design.Space.decode Paper_space.space (Array.make 9 0.) in
+  let hi = Design.Space.decode Paper_space.space (Array.make 9 1.) in
+  Alcotest.(check (float 0.)) "pipe_depth low" 24. lo.(0);
+  Alcotest.(check (float 0.)) "pipe_depth high" 7. hi.(0);
+  Alcotest.(check (float 0.)) "rob low" 24. lo.(1);
+  Alcotest.(check (float 0.)) "rob high" 128. hi.(1);
+  Alcotest.(check (float 1.)) "l2 low 256KB" 262144. lo.(4);
+  Alcotest.(check (float 1.)) "l2 high 8MB" 8388608. hi.(4)
+
+let test_iq_lsq_scale_with_rob () =
+  let point = Array.make 9 0.5 in
+  point.(1) <- 1. (* rob = 128 *);
+  point.(2) <- 0. (* iq ratio = 0.25 *);
+  let cfg = Paper_space.to_config point in
+  Alcotest.(check int) "iq = 0.25 * 128" 32 cfg.Sim.Config.iq_size
+
+let test_test_box_inside_cube () =
+  Alcotest.(check bool) "lo in cube" true (Design.Space.contains Paper_space.test_lo);
+  Alcotest.(check bool) "hi in cube" true (Design.Space.contains Paper_space.test_hi)
+
+let prop_random_points_give_valid_configs =
+  qtest "any cube point decodes to a valid config"
+    QCheck2.Gen.(array_size (return 9) (float_range 0. 1.))
+    (fun point ->
+      Sim.Config.validate (Paper_space.to_config point) = Ok ())
+
+let test_test_points_in_box () =
+  let rng = Rng.create 1 in
+  let pts = Paper_space.test_points rng ~n:40 in
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun k u ->
+          let a = Float.min Paper_space.test_lo.(k) Paper_space.test_hi.(k) in
+          let b = Float.max Paper_space.test_lo.(k) Paper_space.test_hi.(k) in
+          if u < a -. 1e-9 || u > b +. 1e-9 then
+            Alcotest.failf "coordinate %d out of test box" k)
+        p)
+    pts
+
+(* ---------- Response ---------- *)
+
+let test_synthetic_responses () =
+  let r = Response.synthetic_smooth ~dim:9 in
+  let v = r.Response.eval (Array.make 9 0.5) in
+  Alcotest.(check bool) "positive" true (v > 0.);
+  let cliff = Response.synthetic_cliff ~dim:9 in
+  let low = cliff.Response.eval (Array.init 9 (fun k -> if k = 0 then 0.2 else 0.5)) in
+  let high = cliff.Response.eval (Array.init 9 (fun k -> if k = 0 then 0.8 else 0.5)) in
+  Alcotest.(check bool) "cliff" true (low -. high > 2.)
+
+let test_simulator_response_deterministic () =
+  let r = Response.simulator ~trace_length:3_000 Archpred_workloads.Spec2000.crafty in
+  let p = Array.make 9 0.5 in
+  Alcotest.(check (float 1e-12)) "memoised/deterministic"
+    (r.Response.eval p) (r.Response.eval p)
+
+let test_evaluate_many_matches_eval () =
+  let r = Response.synthetic_smooth ~dim:9 in
+  let rng = Rng.create 5 in
+  let pts = Array.init 16 (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng)) in
+  let batch = Response.evaluate_many ~domains:4 r pts in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (float 1e-12)) "batch = pointwise" (r.Response.eval p) batch.(i))
+    pts
+
+let test_simulator_parallel_consistent () =
+  let r = Response.simulator ~trace_length:2_000 Archpred_workloads.Spec2000.parser in
+  let rng = Rng.create 6 in
+  let pts = Array.init 8 (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng)) in
+  let batch = Response.evaluate_many ~domains:4 r pts in
+  let seq = Array.map r.Response.eval pts in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-12)) "parallel = serial" v batch.(i))
+    seq
+
+(* ---------- Tune / Build on synthetic surfaces ---------- *)
+
+let synthetic_sample rng n =
+  let r = Response.synthetic_smooth ~dim:9 in
+  let pts = Design.Lhs.sample rng Paper_space.space ~n in
+  (pts, Array.map r.Response.eval pts)
+
+let test_tune_returns_grid_values () =
+  let rng = Rng.create 7 in
+  let points, responses = synthetic_sample rng 40 in
+  let result =
+    Tune.tune ~p_min_grid:[ 1; 2 ] ~alpha_grid:[ 5.; 9. ] ~dim:9 ~points
+      ~responses ()
+  in
+  Alcotest.(check bool) "p_min from grid" true
+    (List.mem result.Tune.p_min [ 1; 2 ]);
+  Alcotest.(check bool) "alpha from grid" true
+    (List.mem result.Tune.alpha [ 5.; 9. ]);
+  Alcotest.(check bool) "criterion finite" true
+    (Float.is_finite result.Tune.criterion)
+
+let test_build_train_accurate_on_synthetic () =
+  let rng = Rng.create 8 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let trained =
+    Build.train ~lhs_candidates:20 ~rng ~space:Paper_space.space ~response
+      ~n:60 ()
+  in
+  let test = Paper_space.test_points rng ~n:30 in
+  let actual = Array.map response.Response.eval test in
+  let err = Predictor.errors_on trained.Build.predictor ~points:test ~actual in
+  Alcotest.(check bool) "mean error < 3%" true
+    (err.Archpred_stats.Error_metrics.mean_pct < 3.)
+
+let test_build_beats_linear_on_cliff () =
+  (* the shape claim behind Figure 7, on a synthetic cliff *)
+  let rng = Rng.create 9 in
+  let response = Response.synthetic_cliff ~dim:9 in
+  let trained =
+    Build.train ~lhs_candidates:20 ~rng ~space:Paper_space.space ~response
+      ~n:80 ()
+  in
+  let linear =
+    Archpred_linreg.Model.stepwise ~points:trained.Build.sample
+      ~responses:trained.Build.sample_responses ()
+  in
+  let test = Paper_space.test_points rng ~n:40 in
+  let actual = Array.map response.Response.eval test in
+  let rbf_err = Predictor.errors_on trained.Build.predictor ~points:test ~actual in
+  let lin_pred = Array.map (Archpred_linreg.Model.predict linear) test in
+  let lin_err =
+    Archpred_stats.Error_metrics.evaluate ~actual ~predicted:lin_pred
+  in
+  Alcotest.(check bool) "rbf < linear" true
+    (rbf_err.Archpred_stats.Error_metrics.mean_pct
+    < lin_err.Archpred_stats.Error_metrics.mean_pct)
+
+let test_build_to_accuracy_stops_early () =
+  let rng = Rng.create 10 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let test = Paper_space.test_points rng ~n:20 in
+  let actual = Array.map response.Response.eval test in
+  let history =
+    Build.build_to_accuracy ~lhs_candidates:10 ~rng ~space:Paper_space.space
+      ~response ~sizes:[ 40; 60; 80 ] ~test_points:test ~test_responses:actual
+      ~target_mean_pct:50. ()
+  in
+  (* a 50% target is trivially met at the first size *)
+  Alcotest.(check int) "one step" 1 (List.length history.Build.steps);
+  Alcotest.(check int) "size 40" 40 history.Build.final.Build.size
+
+let test_build_to_accuracy_exhausts_schedule () =
+  let rng = Rng.create 11 in
+  let response = Response.synthetic_cliff ~dim:9 in
+  let test = Paper_space.test_points rng ~n:20 in
+  let actual = Array.map response.Response.eval test in
+  let history =
+    Build.build_to_accuracy ~lhs_candidates:5 ~rng ~space:Paper_space.space
+      ~response ~sizes:[ 30; 50 ] ~test_points:test ~test_responses:actual
+      ~target_mean_pct:0.0001 ()
+  in
+  Alcotest.(check int) "both steps" 2 (List.length history.Build.steps)
+
+(* ---------- Predictor ---------- *)
+
+let trained_synthetic () =
+  let rng = Rng.create 12 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  Build.train ~lhs_candidates:10 ~rng ~space:Paper_space.space ~response ~n:50 ()
+
+let test_predictor_natural_units () =
+  let trained = trained_synthetic () in
+  let p = trained.Build.predictor in
+  let natural = [| 12.; 96.; 0.5; 0.5; 4194304.; 9.; 32768.; 32768.; 2. |] in
+  let u = Design.Space.encode Paper_space.space natural in
+  Alcotest.(check (float 1e-9)) "natural = encoded"
+    (Predictor.predict p u)
+    (Predictor.predict_natural p natural)
+
+let test_predictor_rejects_outside () =
+  let trained = trained_synthetic () in
+  Alcotest.check_raises "outside cube"
+    (Invalid_argument "Space: point outside unit cube") (fun () ->
+      ignore (Predictor.predict trained.Build.predictor (Array.make 9 1.5)))
+
+(* ---------- Trend ---------- *)
+
+let test_trend_shapes () =
+  let trained = trained_synthetic () in
+  let base = Array.make 9 0.5 in
+  let series =
+    Trend.sweep ~predictor:trained.Build.predictor ~base ~dim1:6 ~steps1:3
+      ~dim2:5 ~steps2:5 ()
+  in
+  Alcotest.(check int) "rows" 3 (Array.length series);
+  Array.iter
+    (fun (s : Trend.series) ->
+      Alcotest.(check int) "cols" 5 (Array.length s.Trend.predicted);
+      Alcotest.(check bool) "no simulation requested" true
+        (s.Trend.simulated = None))
+    series
+
+let test_trend_with_simulation () =
+  let trained = trained_synthetic () in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let base = Array.make 9 0.5 in
+  let series =
+    Trend.sweep ~simulate:response ~predictor:trained.Build.predictor ~base
+      ~dim1:0 ~steps1:2 ~dim2:1 ~steps2:3 ()
+  in
+  Array.iter
+    (fun (s : Trend.series) ->
+      match s.Trend.simulated with
+      | Some sim -> Alcotest.(check int) "sim cols" 3 (Array.length sim)
+      | None -> Alcotest.fail "expected simulated values")
+    series
+
+(* ---------- Search ---------- *)
+
+let test_search_finds_low_corner () =
+  (* synthetic_smooth decreases in x0 (exp(-2a)) and increases in x1;
+     the minimiser should push x0 high and x1 low *)
+  let rng = Rng.create 13 in
+  let trained = trained_synthetic () in
+  let result = Search.minimize ~scan:500 ~rng ~predictor:trained.Build.predictor () in
+  Alcotest.(check bool) "x0 pushed high" true (result.Search.point.(0) > 0.6);
+  Alcotest.(check bool) "x1 pushed low" true (result.Search.point.(1) < 0.4);
+  Alcotest.(check bool) "evaluations counted" true (result.Search.evaluations >= 500)
+
+let test_search_respects_constraint () =
+  let rng = Rng.create 14 in
+  let trained = trained_synthetic () in
+  let constraint_ p = p.(0) <= 0.5 in
+  let result =
+    Search.minimize ~scan:500 ~constraint_ ~rng
+      ~predictor:trained.Build.predictor ()
+  in
+  Alcotest.(check bool) "constraint held" true (result.Search.point.(0) <= 0.5)
+
+let test_search_infeasible () =
+  let rng = Rng.create 15 in
+  let trained = trained_synthetic () in
+  Alcotest.check_raises "no feasible point"
+    (Invalid_argument "Search.minimize: no feasible point found in scan")
+    (fun () ->
+      ignore
+        (Search.minimize ~scan:10 ~constraint_:(fun _ -> false) ~rng
+           ~predictor:trained.Build.predictor ()))
+
+(* ---------- integration: simulator-backed model ---------- *)
+
+let test_end_to_end_simulator_model () =
+  let rng = Rng.create 16 in
+  let response =
+    Response.simulator ~trace_length:5_000 Archpred_workloads.Spec2000.crafty
+  in
+  let trained =
+    Build.train ~lhs_candidates:10 ~p_min_grid:[ 1 ] ~alpha_grid:[ 7. ] ~rng
+      ~space:Paper_space.space ~response ~n:30 ()
+  in
+  let test = Paper_space.test_points rng ~n:10 in
+  let actual = Response.evaluate_many response test in
+  let err = Predictor.errors_on trained.Build.predictor ~points:test ~actual in
+  (* a crude model from 30 tiny simulations: just require sane errors *)
+  Alcotest.(check bool) "mean error bounded" true
+    (err.Archpred_stats.Error_metrics.mean_pct < 60.);
+  Alcotest.(check bool) "predictions positive" true
+    (Array.for_all
+       (fun p -> Predictor.predict trained.Build.predictor p > 0.)
+       test)
+
+
+(* ---------- Crossval ---------- *)
+
+let test_crossval_perfect_model () =
+  (* a trainer that returns the true function: zero CV error *)
+  let rng = Rng.create 20 in
+  let f p = 2. +. p.(0) in
+  let points =
+    Array.init 25 (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng))
+  in
+  let responses = Array.map f points in
+  let cv =
+    Core.Crossval.k_fold ~k:5 ~rng
+      ~train:(fun ~points:_ ~responses:_ p -> f p)
+      ~points ~responses ()
+  in
+  Alcotest.(check (float 1e-9)) "zero error" 0. cv.Core.Crossval.mean_pct
+
+let test_crossval_rbf_trainer () =
+  let rng = Rng.create 21 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let points = Design.Lhs.sample rng Paper_space.space ~n:50 in
+  let responses = Array.map response.Response.eval points in
+  let cv =
+    Core.Crossval.k_fold ~k:5 ~rng
+      ~train:(fun ~points ~responses p ->
+        (Core.Crossval.rbf_trainer ~dim:9 ()) ~points ~responses p)
+      ~points ~responses ()
+  in
+  Alcotest.(check bool) "smooth surface CV error < 10%" true
+    (cv.Core.Crossval.mean_pct < 10.);
+  Alcotest.(check int) "residual per point" 50
+    (Array.length cv.Core.Crossval.residuals)
+
+let test_crossval_too_few_points () =
+  let rng = Rng.create 22 in
+  Alcotest.check_raises "n < k"
+    (Invalid_argument "Crossval.k_fold: fewer points than folds") (fun () ->
+      ignore
+        (Core.Crossval.k_fold ~k:5 ~rng
+           ~train:(fun ~points:_ ~responses:_ _ -> 0.)
+           ~points:[| [| 0.5 |] |] ~responses:[| 1. |] ()))
+
+(* ---------- Adaptive ---------- *)
+
+let test_adaptive_budget_accounting () =
+  let rng = Rng.create 23 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let r =
+    Core.Adaptive.run ~initial:15 ~batch:5 ~rounds:2 ~pool:50 ~rng
+      ~space:Paper_space.space ~response ()
+  in
+  Alcotest.(check int) "budget = initial + rounds*batch" 25
+    r.Core.Adaptive.total_simulations;
+  Alcotest.(check int) "one step per round + final" 3
+    (List.length r.Core.Adaptive.steps);
+  Alcotest.(check int) "sample recorded" 25
+    (Array.length r.Core.Adaptive.trained.Build.sample)
+
+let test_adaptive_model_usable () =
+  let rng = Rng.create 24 in
+  let response = Response.synthetic_smooth ~dim:9 in
+  let r =
+    Core.Adaptive.run ~initial:20 ~batch:8 ~rounds:2 ~pool:100 ~rng
+      ~space:Paper_space.space ~response ()
+  in
+  let test = Paper_space.test_points rng ~n:20 in
+  let actual = Array.map response.Response.eval test in
+  let err =
+    Predictor.errors_on r.Core.Adaptive.trained.Build.predictor ~points:test
+      ~actual
+  in
+  Alcotest.(check bool) "reasonable accuracy" true
+    (err.Archpred_stats.Error_metrics.mean_pct < 10.)
+
+(* ---------- Persist ---------- *)
+
+let test_persist_roundtrip () =
+  let trained = trained_synthetic () in
+  let text = Core.Persist.to_string trained.Build.predictor in
+  let loaded = Core.Persist.of_string text in
+  Alcotest.(check bool) "no tree" true (loaded.Predictor.tree = None);
+  Alcotest.(check int) "p_min" trained.Build.predictor.Predictor.p_min
+    loaded.Predictor.p_min;
+  (* predictions agree exactly *)
+  let rng = Rng.create 25 in
+  for _ = 1 to 20 do
+    let p = Array.init 9 (fun _ -> Rng.unit_float rng) in
+    Alcotest.(check (float 1e-12)) "same prediction"
+      (Predictor.predict trained.Build.predictor p)
+      (Predictor.predict loaded p)
+  done
+
+let test_persist_file_roundtrip () =
+  let trained = trained_synthetic () in
+  let path = Filename.temp_file "archpred" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Core.Persist.save trained.Build.predictor path;
+      let loaded = Core.Persist.load path in
+      let p = Array.make 9 0.25 in
+      Alcotest.(check (float 1e-12)) "file roundtrip"
+        (Predictor.predict trained.Build.predictor p)
+        (Predictor.predict loaded p))
+
+let test_persist_rejects_garbage () =
+  Alcotest.(check bool) "garbage fails" true
+    (match Core.Persist.of_string "not a model\n" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_persist_rejects_truncated () =
+  let trained = trained_synthetic () in
+  let text = Core.Persist.to_string trained.Build.predictor in
+  let truncated = String.sub text 0 (String.length text / 2) in
+  Alcotest.(check bool) "truncated fails" true
+    (match Core.Persist.of_string truncated with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ---------- metric responses ---------- *)
+
+let test_power_response () =
+  let r =
+    Response.simulator_metric ~trace_length:3_000
+      ~metric:Response.Energy_per_instruction
+      Archpred_workloads.Spec2000.crafty
+  in
+  let v = r.Response.eval (Array.make 9 0.5) in
+  Alcotest.(check bool) "epi positive" true (v > 0.)
+
+let test_metric_names () =
+  Alcotest.(check string) "cpi" "cpi" (Response.metric_to_string Response.Cpi);
+  Alcotest.(check string) "epi" "epi"
+    (Response.metric_to_string Response.Energy_per_instruction);
+  Alcotest.(check string) "edp" "edp"
+    (Response.metric_to_string Response.Energy_delay_product)
+
+
+(* ---------- Sensitivity ---------- *)
+
+let test_sensitivity_main_effects () =
+  (* synthetic_smooth only involves dims 0, 1 and 2 *)
+  let trained = trained_synthetic () in
+  let effects = Core.Sensitivity.main_effects trained.Build.predictor in
+  let top3 =
+    List.filteri (fun i _ -> i < 3) effects
+    |> List.map (fun e -> e.Core.Sensitivity.dim)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "active dims ranked first" [ 0; 1; 2 ] top3;
+  (* inactive dimensions have (near-)zero main effect *)
+  List.iter
+    (fun (e : Core.Sensitivity.effect) ->
+      if e.Core.Sensitivity.dim > 2 && e.Core.Sensitivity.magnitude > 0.25 then
+        Alcotest.failf "dim %d should be inactive (%.3f)"
+          e.Core.Sensitivity.dim e.Core.Sensitivity.magnitude)
+    effects
+
+let test_sensitivity_total_effects () =
+  let trained = trained_synthetic () in
+  let rng = Rng.create 33 in
+  let effects =
+    Core.Sensitivity.total_effects ~samples:256 ~rng trained.Build.predictor
+  in
+  match effects with
+  | first :: _ ->
+      Alcotest.(check bool) "strongest is an active dim" true
+        (first.Core.Sensitivity.dim <= 2)
+  | [] -> Alcotest.fail "no effects"
+
+let test_sensitivity_interaction () =
+  let trained = trained_synthetic () in
+  (* the surface has a 0.6*x0*x1 term: (0,1) interacts, (5,6) does not *)
+  let active = Core.Sensitivity.interaction trained.Build.predictor ~dim1:0 ~dim2:1 in
+  let inactive = Core.Sensitivity.interaction trained.Build.predictor ~dim1:5 ~dim2:6 in
+  Alcotest.(check bool) "x0*x1 interaction dominates" true (active > inactive);
+  Alcotest.check_raises "same dim rejected"
+    (Invalid_argument "Sensitivity.interaction: bad dimensions") (fun () ->
+      ignore (Core.Sensitivity.interaction trained.Build.predictor ~dim1:1 ~dim2:1))
+
+let test_sensitivity_top_interactions () =
+  let trained = trained_synthetic () in
+  let tops = Core.Sensitivity.top_interactions ~count:5 trained.Build.predictor in
+  Alcotest.(check int) "five pairs" 5 (List.length tops);
+  match tops with
+  | (a, b, _) :: _ ->
+      Alcotest.(check bool) "strongest pair involves x0/x1" true
+        ((a = "pipe_depth" && b = "ROB_size")
+        || a = "pipe_depth" || b = "ROB_size")
+  | [] -> Alcotest.fail "no pairs"
+
+
+let test_training_deterministic () =
+  (* identical seeds give bit-identical models end to end *)
+  let response = Response.synthetic_smooth ~dim:9 in
+  let train () =
+    Build.train ~lhs_candidates:10
+      ~rng:(Rng.create 99) ~space:Paper_space.space ~response ~n:40 ()
+  in
+  let a = train () and b = train () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 10 do
+    let p = Array.init 9 (fun _ -> Rng.unit_float rng) in
+    Alcotest.(check (float 0.)) "bit identical"
+      (Predictor.predict a.Build.predictor p)
+      (Predictor.predict b.Build.predictor p)
+  done
+
+let test_persist_version_check () =
+  let trained = trained_synthetic () in
+  let text = Core.Persist.to_string trained.Build.predictor in
+  let bumped =
+    "archpred-model 99" ^ String.sub text 16 (String.length text - 16)
+  in
+  Alcotest.(check bool) "future version rejected" true
+    (match Core.Persist.of_string bumped with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "paper_space",
+        [
+          Alcotest.test_case "dimension" `Quick test_space_dimension;
+          Alcotest.test_case "corner configs valid" `Quick test_space_corner_configs_valid;
+          Alcotest.test_case "decoding ranges" `Quick test_space_decoding_ranges;
+          Alcotest.test_case "iq/lsq scale with rob" `Quick test_iq_lsq_scale_with_rob;
+          Alcotest.test_case "test box in cube" `Quick test_test_box_inside_cube;
+          prop_random_points_give_valid_configs;
+          Alcotest.test_case "test points in box" `Quick test_test_points_in_box;
+        ] );
+      ( "response",
+        [
+          Alcotest.test_case "synthetic surfaces" `Quick test_synthetic_responses;
+          Alcotest.test_case "simulator deterministic" `Quick test_simulator_response_deterministic;
+          Alcotest.test_case "evaluate_many" `Quick test_evaluate_many_matches_eval;
+          Alcotest.test_case "parallel consistent" `Quick test_simulator_parallel_consistent;
+        ] );
+      ( "tune_build",
+        [
+          Alcotest.test_case "tune grid" `Quick test_tune_returns_grid_values;
+          Alcotest.test_case "accurate on synthetic" `Quick test_build_train_accurate_on_synthetic;
+          Alcotest.test_case "beats linear on cliff" `Quick test_build_beats_linear_on_cliff;
+          Alcotest.test_case "early stop" `Quick test_build_to_accuracy_stops_early;
+          Alcotest.test_case "exhausts schedule" `Quick test_build_to_accuracy_exhausts_schedule;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "natural units" `Quick test_predictor_natural_units;
+          Alcotest.test_case "rejects outside" `Quick test_predictor_rejects_outside;
+        ] );
+      ( "trend",
+        [
+          Alcotest.test_case "shapes" `Quick test_trend_shapes;
+          Alcotest.test_case "with simulation" `Quick test_trend_with_simulation;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "finds low corner" `Quick test_search_finds_low_corner;
+          Alcotest.test_case "respects constraint" `Quick test_search_respects_constraint;
+          Alcotest.test_case "infeasible raises" `Quick test_search_infeasible;
+        ] );
+      ( "crossval",
+        [
+          Alcotest.test_case "perfect model" `Quick test_crossval_perfect_model;
+          Alcotest.test_case "rbf trainer" `Quick test_crossval_rbf_trainer;
+          Alcotest.test_case "too few points" `Quick test_crossval_too_few_points;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "budget accounting" `Quick test_adaptive_budget_accounting;
+          Alcotest.test_case "model usable" `Quick test_adaptive_model_usable;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_persist_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
+          Alcotest.test_case "rejects truncated" `Quick test_persist_rejects_truncated;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "power response" `Quick test_power_response;
+          Alcotest.test_case "metric names" `Quick test_metric_names;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "main effects" `Quick test_sensitivity_main_effects;
+          Alcotest.test_case "total effects" `Quick test_sensitivity_total_effects;
+          Alcotest.test_case "interaction" `Quick test_sensitivity_interaction;
+          Alcotest.test_case "top interactions" `Quick test_sensitivity_top_interactions;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "training deterministic" `Quick test_training_deterministic;
+          Alcotest.test_case "persist version" `Quick test_persist_version_check;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "simulator-backed model" `Slow test_end_to_end_simulator_model;
+        ] );
+    ]

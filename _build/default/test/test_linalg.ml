@@ -1,0 +1,314 @@
+(* Tests for archpred.linalg: vectors, matrices, LU, Cholesky, QR and
+   least squares. *)
+
+module Vector = Archpred_linalg.Vector
+module Matrix = Archpred_linalg.Matrix
+module Lu = Archpred_linalg.Lu
+module Cholesky = Archpred_linalg.Cholesky
+module Qr = Archpred_linalg.Qr
+module Least_squares = Archpred_linalg.Least_squares
+module Rng = Archpred_stats.Rng
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_matrix rng r c =
+  Matrix.init r c (fun _ _ -> Rng.unit_float rng -. 0.5)
+
+(* ---------- Vector ---------- *)
+
+let test_dot () = check_float "dot" 32. (Vector.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |])
+let test_norm () = check_float "norm" 5. (Vector.norm2 [| 3.; 4. |])
+
+let test_add_sub () =
+  Alcotest.(check (array (float 1e-9)))
+    "add" [| 5.; 7. |]
+    (Vector.add [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.(check (array (float 1e-9)))
+    "sub" [| -3.; -3. |]
+    (Vector.sub [| 1.; 2. |] [| 4.; 5. |])
+
+let test_axpy () =
+  let y = [| 1.; 1. |] in
+  Vector.axpy 2. [| 3.; 4. |] y;
+  Alcotest.(check (array (float 1e-9))) "axpy" [| 7.; 9. |] y
+
+let test_dist2 () = check_float "dist" 5. (Vector.dist2 [| 0.; 0. |] [| 3.; 4. |])
+
+let test_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vector.dot: dimension mismatch") (fun () ->
+      ignore (Vector.dot [| 1. |] [| 1.; 2. |]))
+
+(* ---------- Matrix ---------- *)
+
+let test_identity_mul () =
+  let rng = Rng.create 1 in
+  let a = random_matrix rng 4 4 in
+  Alcotest.(check bool) "I*A = A" true
+    (Matrix.equal ~eps:1e-12 a (Matrix.mul (Matrix.identity 4) a))
+
+let test_transpose_involution () =
+  let rng = Rng.create 2 in
+  let a = random_matrix rng 3 5 in
+  Alcotest.(check bool) "(A')' = A" true
+    (Matrix.equal a (Matrix.transpose (Matrix.transpose a)))
+
+let test_mul_known () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Matrix.mul a b in
+  check_float "c00" 19. (Matrix.get c 0 0);
+  check_float "c01" 22. (Matrix.get c 0 1);
+  check_float "c10" 43. (Matrix.get c 1 0);
+  check_float "c11" 50. (Matrix.get c 1 1)
+
+let test_tmul_matches () =
+  let rng = Rng.create 3 in
+  let a = random_matrix rng 6 3 in
+  let b = random_matrix rng 6 4 in
+  Alcotest.(check bool) "tmul = A'B" true
+    (Matrix.equal ~eps:1e-12 (Matrix.tmul a b)
+       (Matrix.mul (Matrix.transpose a) b))
+
+let test_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 1e-9)))
+    "Av" [| 5.; 11. |]
+    (Matrix.mul_vec a [| 1.; 2. |])
+
+let test_select_cols () =
+  let a = Matrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let s = Matrix.select_cols a [| 2; 0 |] in
+  check_float "s00" 3. (Matrix.get s 0 0);
+  check_float "s01" 1. (Matrix.get s 0 1);
+  check_float "s10" 6. (Matrix.get s 1 0)
+
+let test_row_col_roundtrip () =
+  let rng = Rng.create 4 in
+  let a = random_matrix rng 3 4 in
+  Alcotest.(check (array (float 1e-12))) "row" (Matrix.row a 1)
+    (Array.init 4 (fun j -> Matrix.get a 1 j));
+  Alcotest.(check (array (float 1e-12))) "col" (Matrix.col a 2)
+    (Array.init 3 (fun i -> Matrix.get a i 2))
+
+(* ---------- LU ---------- *)
+
+let test_lu_solve () =
+  let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Lu.solve (Lu.decompose a) [| 3.; 5. |] in
+  check_float ~eps:1e-12 "x0" 0.8 x.(0);
+  check_float ~eps:1e-12 "x1" 1.4 x.(1)
+
+let test_lu_det () =
+  let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  check_float ~eps:1e-12 "det" 5. (Lu.det (Lu.decompose a))
+
+let test_lu_det_permutation () =
+  (* matrix that needs pivoting *)
+  let a = Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_float ~eps:1e-12 "det swap" (-1.) (Lu.det (Lu.decompose a))
+
+let test_lu_singular () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Lu.decompose a))
+
+let test_lu_inverse () =
+  let rng = Rng.create 5 in
+  let a =
+    Matrix.add (random_matrix rng 4 4) (Matrix.scale 4. (Matrix.identity 4))
+  in
+  let inv = Lu.inverse (Lu.decompose a) in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (Matrix.equal ~eps:1e-9 (Matrix.identity 4) (Matrix.mul a inv))
+
+let prop_lu_solves =
+  qtest "LU solve satisfies Ax=b" QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 6 in
+      let a =
+        Matrix.add (random_matrix rng n n)
+          (Matrix.scale (2. +. float_of_int n) (Matrix.identity n))
+      in
+      let b = Array.init n (fun _ -> Rng.unit_float rng) in
+      let x = Lu.solve (Lu.decompose a) b in
+      let b' = Matrix.mul_vec a x in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-8) b b')
+
+(* ---------- Cholesky ---------- *)
+
+let spd_of rng n =
+  let a = random_matrix rng n n in
+  Matrix.add (Matrix.tmul a a) (Matrix.scale 0.5 (Matrix.identity n))
+
+let test_cholesky_solve () =
+  let rng = Rng.create 6 in
+  let a = spd_of rng 5 in
+  let b = Array.init 5 (fun i -> float_of_int (i + 1)) in
+  let x = Cholesky.solve (Cholesky.decompose a) b in
+  let b' = Matrix.mul_vec a x in
+  Array.iteri (fun i v -> check_float ~eps:1e-8 "solve" b.(i) v) b'
+
+let test_cholesky_factor () =
+  let rng = Rng.create 7 in
+  let a = spd_of rng 4 in
+  let l = Cholesky.factor (Cholesky.decompose a) in
+  Alcotest.(check bool) "LL' = A" true
+    (Matrix.equal ~eps:1e-9 a (Matrix.mul l (Matrix.transpose l)))
+
+let test_cholesky_not_pd () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  Alcotest.check_raises "not PD" Cholesky.Not_positive_definite (fun () ->
+      ignore (Cholesky.decompose a))
+
+let test_cholesky_log_det () =
+  let a = Matrix.of_arrays [| [| 4.; 0. |]; [| 0.; 9. |] |] in
+  check_float ~eps:1e-12 "log det" (log 36.)
+    (Cholesky.log_det (Cholesky.decompose a))
+
+(* ---------- QR / least squares ---------- *)
+
+let test_qr_exact_solve () =
+  (* square, consistent system *)
+  let a = Matrix.of_arrays [| [| 1.; 1. |]; [| 1.; 2. |]; [| 1.; 3. |] |] in
+  (* y = 2 + 3x exactly *)
+  let y = [| 5.; 8.; 11. |] in
+  let w = Qr.least_squares a y in
+  check_float ~eps:1e-10 "intercept" 2. w.(0);
+  check_float ~eps:1e-10 "slope" 3. w.(1)
+
+let test_qr_minimizes () =
+  let a = Matrix.of_arrays [| [| 1.; 0. |]; [| 1.; 1. |]; [| 1.; 2. |] |] in
+  let y = [| 0.; 1.; 1. |] in
+  let w = Qr.least_squares a y in
+  (* residual must be orthogonal to the column space *)
+  let fitted = Matrix.mul_vec a w in
+  let r = Vector.sub y fitted in
+  check_float ~eps:1e-10 "r . col0" 0. (Vector.dot r (Matrix.col a 0));
+  check_float ~eps:1e-10 "r . col1" 0. (Vector.dot r (Matrix.col a 1))
+
+let test_qr_rank_deficient () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |]; [| 3.; 6. |] |] in
+  Alcotest.check_raises "rank deficient" Qr.Rank_deficient (fun () ->
+      ignore (Qr.least_squares a [| 1.; 2.; 3. |]))
+
+let test_qr_r_triangular () =
+  let rng = Rng.create 8 in
+  let a = random_matrix rng 6 4 in
+  let r = Qr.r (Qr.decompose a) in
+  for i = 0 to 3 do
+    for j = 0 to i - 1 do
+      check_float "below diagonal" 0. (Matrix.get r i j)
+    done
+  done
+
+let test_ridge_shrinks () =
+  let a = Matrix.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let y = [| 2.; 2. |] in
+  let w0 = Qr.least_squares a y in
+  let w1 = Qr.least_squares_ridge a y ~lambda:1. in
+  Alcotest.(check bool) "ridge shrinks norm" true
+    (Vector.norm2 w1 < Vector.norm2 w0)
+
+let test_ridge_handles_rank_deficiency () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |]; [| 3.; 6. |] |] in
+  let w = Qr.least_squares_ridge a [| 1.; 2.; 3. |] ~lambda:1e-6 in
+  Alcotest.(check int) "finite solution" 2 (Array.length w);
+  Array.iter
+    (fun v -> if Float.is_nan v then Alcotest.fail "NaN coefficient")
+    w
+
+let prop_qr_residual_orthogonal =
+  qtest "QR residual orthogonal to columns"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = 4 + Rng.int rng 8 in
+      let m = 1 + Rng.int rng 3 in
+      let a = random_matrix rng p m in
+      let y = Array.init p (fun _ -> Rng.unit_float rng) in
+      match Qr.least_squares a y with
+      | w ->
+          let r = Vector.sub y (Matrix.mul_vec a w) in
+          let ok = ref true in
+          for j = 0 to m - 1 do
+            if abs_float (Vector.dot r (Matrix.col a j)) > 1e-6 then ok := false
+          done;
+          !ok
+      | exception Qr.Rank_deficient -> true)
+
+(* ---------- Least_squares wrapper ---------- *)
+
+let test_ls_diagnostics () =
+  let a = Matrix.of_arrays [| [| 1.; 0. |]; [| 1.; 1. |]; [| 1.; 2. |] |] in
+  let y = [| 1.; 2.; 3. |] in
+  let f = Least_squares.fit a y in
+  check_float ~eps:1e-10 "rss" 0. f.Least_squares.rss;
+  check_float ~eps:1e-10 "sigma2" 0. f.Least_squares.sigma2;
+  Alcotest.(check bool) "not regularized" false f.Least_squares.regularized
+
+let test_ls_fallback () =
+  let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |]; [| 3.; 6. |] |] in
+  let f = Least_squares.fit a [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "regularized flagged" true f.Least_squares.regularized
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vector",
+        [
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "norm" `Quick test_norm;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "axpy" `Quick test_axpy;
+          Alcotest.test_case "dist" `Quick test_dist2;
+          Alcotest.test_case "dimension mismatch" `Quick test_dim_mismatch;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "tmul" `Quick test_tmul_matches;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "select_cols" `Quick test_select_cols;
+          Alcotest.test_case "row/col" `Quick test_row_col_roundtrip;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "det with pivot" `Quick test_lu_det_permutation;
+          Alcotest.test_case "singular raises" `Quick test_lu_singular;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          prop_lu_solves;
+        ] );
+      ( "cholesky",
+        [
+          Alcotest.test_case "solve" `Quick test_cholesky_solve;
+          Alcotest.test_case "factor" `Quick test_cholesky_factor;
+          Alcotest.test_case "not PD raises" `Quick test_cholesky_not_pd;
+          Alcotest.test_case "log det" `Quick test_cholesky_log_det;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "exact solve" `Quick test_qr_exact_solve;
+          Alcotest.test_case "minimizes" `Quick test_qr_minimizes;
+          Alcotest.test_case "rank deficient raises" `Quick test_qr_rank_deficient;
+          Alcotest.test_case "R triangular" `Quick test_qr_r_triangular;
+          Alcotest.test_case "ridge shrinks" `Quick test_ridge_shrinks;
+          Alcotest.test_case "ridge rank-deficient" `Quick test_ridge_handles_rank_deficiency;
+          prop_qr_residual_orthogonal;
+        ] );
+      ( "least_squares",
+        [
+          Alcotest.test_case "diagnostics" `Quick test_ls_diagnostics;
+          Alcotest.test_case "ridge fallback" `Quick test_ls_fallback;
+        ] );
+    ]

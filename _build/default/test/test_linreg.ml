@@ -1,0 +1,161 @@
+(* Tests for archpred.linreg: term algebra, model fitting and stepwise AIC
+   selection. *)
+
+module Term = Archpred_linreg.Term
+module Model = Archpred_linreg.Model
+module Rng = Archpred_stats.Rng
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- terms ---------- *)
+
+let test_term_values () =
+  let x = [| 2.; 3. |] in
+  check_float "intercept" 1. (Term.value Term.Intercept x);
+  check_float "main" 3. (Term.value (Term.Main 1) x);
+  check_float "interaction" 6. (Term.value (Term.Interaction (0, 1)) x)
+
+let test_full_set_count () =
+  (* 1 + 9 + 36 = 46 for the paper's 9-parameter space *)
+  Alcotest.(check int) "46 terms" 46 (List.length (Term.full_set ~dim:9));
+  Alcotest.(check int) "interactions" 36 (List.length (Term.interactions ~dim:9));
+  Alcotest.(check int) "mains" 10 (List.length (Term.main_effects_only ~dim:9))
+
+let test_interactions_ordered () =
+  List.iter
+    (fun t ->
+      match t with
+      | Term.Interaction (j, k) ->
+          if j >= k then Alcotest.failf "unordered interaction (%d,%d)" j k
+      | Term.Intercept | Term.Main _ -> Alcotest.fail "unexpected term")
+    (Term.interactions ~dim:5)
+
+let test_term_to_string () =
+  Alcotest.(check string) "names" "a*b"
+    (Term.to_string ~names:[| "a"; "b" |] (Term.Interaction (0, 1)));
+  Alcotest.(check string) "fallback" "x1" (Term.to_string (Term.Main 1))
+
+(* ---------- fit ---------- *)
+
+let linear_data rng n f =
+  let points =
+    Array.init n (fun _ -> [| Rng.unit_float rng; Rng.unit_float rng |])
+  in
+  (points, Array.map f points)
+
+let test_fit_exact_linear () =
+  let rng = Rng.create 1 in
+  let f p = 2. +. (3. *. p.(0)) -. (1.5 *. p.(1)) in
+  let points, responses = linear_data rng 30 f in
+  let m =
+    Model.fit
+      ~terms:[ Term.Intercept; Term.Main 0; Term.Main 1 ]
+      ~points ~responses
+  in
+  check_float ~eps:1e-9 "intercept" 2. (Model.coefficients m).(0);
+  check_float ~eps:1e-9 "b0" 3. (Model.coefficients m).(1);
+  check_float ~eps:1e-9 "b1" (-1.5) (Model.coefficients m).(2);
+  check_float ~eps:1e-9 "sigma2" 0. (Model.sigma2 m)
+
+let test_predict_matches_manual () =
+  let rng = Rng.create 2 in
+  let f p = 1. +. p.(0) in
+  let points, responses = linear_data rng 20 f in
+  let m = Model.fit ~terms:(Term.main_effects_only ~dim:2) ~points ~responses in
+  let x = [| 0.3; 0.7 |] in
+  check_float ~eps:1e-9 "predict" (f x) (Model.predict m x)
+
+let test_fit_no_terms_raises () =
+  Alcotest.check_raises "no terms" (Invalid_argument "Model.fit: no terms")
+    (fun () ->
+      ignore (Model.fit ~terms:[] ~points:[| [| 1. |] |] ~responses:[| 1. |]))
+
+(* ---------- stepwise ---------- *)
+
+let test_stepwise_recovers_interaction () =
+  let rng = Rng.create 3 in
+  let f p = 1. +. (2. *. p.(0)) +. (4. *. p.(0) *. p.(1)) in
+  let points, responses = linear_data rng 60 f in
+  let m = Model.stepwise ~points ~responses () in
+  let has t = List.exists (fun u -> Term.compare t u = 0) (Model.terms m) in
+  Alcotest.(check bool) "keeps interaction" true (has (Term.Interaction (0, 1)));
+  (* the fitted model reproduces the function *)
+  let x = [| 0.25; 0.75 |] in
+  check_float ~eps:1e-6 "prediction" (f x) (Model.predict m x)
+
+let test_stepwise_drops_noise_terms () =
+  let rng = Rng.create 4 in
+  (* response depends only on x0, plus observation noise; x1 is irrelevant.
+     The noise keeps sigma2 bounded away from zero so AIC trades fit
+     against size classically. *)
+  let noise = Rng.create 44 in
+  let f p = 5. +. (3. *. p.(0)) +. (0.3 *. (Rng.unit_float noise -. 0.5)) in
+  let points, responses = linear_data rng 80 f in
+  let m = Model.stepwise ~points ~responses () in
+  let has t = List.exists (fun u -> Term.compare t u = 0) (Model.terms m) in
+  Alcotest.(check bool) "keeps x0" true (has (Term.Main 0));
+  Alcotest.(check bool) "drops x0*x1" false (has (Term.Interaction (0, 1)))
+
+let test_stepwise_small_sample () =
+  (* fewer points than the full term set: must not blow up *)
+  let rng = Rng.create 5 in
+  let points =
+    Array.init 12 (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng))
+  in
+  let responses = Array.map (fun p -> 1. +. p.(3)) points in
+  let m = Model.stepwise ~points ~responses () in
+  Alcotest.(check bool) "terms < points" true
+    (List.length (Model.terms m) < 12)
+
+let test_stepwise_constant_response () =
+  let rng = Rng.create 6 in
+  let points, responses = linear_data rng 20 (fun _ -> 7.) in
+  let m = Model.stepwise ~points ~responses () in
+  check_float ~eps:1e-6 "predicts constant" 7. (Model.predict m [| 0.5; 0.5 |])
+
+let prop_stepwise_never_worse_than_mains =
+  qtest "stepwise AIC <= main-effects AIC"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f p = p.(0) +. (2. *. p.(1) *. p.(0)) +. (0.1 *. Rng.unit_float rng) in
+      let points, responses = linear_data rng 40 f in
+      let full = Model.stepwise ~points ~responses () in
+      let mains =
+        Model.fit ~terms:(Term.main_effects_only ~dim:2) ~points ~responses
+      in
+      let aic_of m =
+        Model.aic ~p:40 ~m:(List.length (Model.terms m)) ~sigma2:(Model.sigma2 m)
+      in
+      aic_of full <= aic_of mains +. 1e-9)
+
+let () =
+  Alcotest.run "linreg"
+    [
+      ( "terms",
+        [
+          Alcotest.test_case "values" `Quick test_term_values;
+          Alcotest.test_case "full set count" `Quick test_full_set_count;
+          Alcotest.test_case "interactions ordered" `Quick test_interactions_ordered;
+          Alcotest.test_case "to_string" `Quick test_term_to_string;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "exact linear" `Quick test_fit_exact_linear;
+          Alcotest.test_case "predict" `Quick test_predict_matches_manual;
+          Alcotest.test_case "no terms raises" `Quick test_fit_no_terms_raises;
+        ] );
+      ( "stepwise",
+        [
+          Alcotest.test_case "recovers interaction" `Quick test_stepwise_recovers_interaction;
+          Alcotest.test_case "drops noise" `Quick test_stepwise_drops_noise_terms;
+          Alcotest.test_case "small sample" `Quick test_stepwise_small_sample;
+          Alcotest.test_case "constant response" `Quick test_stepwise_constant_response;
+          prop_stepwise_never_worse_than_mains;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Tests for archpred.rbf: Gaussian bases, network evaluation and fitting,
+   selection criteria, tree-derived candidate centers, the fast subset
+   scorer (cross-checked against exact QR fits) and Orr's tree-ordered
+   center selection. *)
+
+module Rbf = Archpred_rbf
+module Network = Rbf.Network
+module Criteria = Rbf.Criteria
+module Tree_centers = Rbf.Tree_centers
+module Selection = Rbf.Selection
+module Subset_scorer = Rbf.Subset_scorer
+module Tree = Archpred_regtree.Tree
+module Matrix = Archpred_linalg.Matrix
+module Least_squares = Archpred_linalg.Least_squares
+module Rng = Archpred_stats.Rng
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- basis ---------- *)
+
+let unit_center = { Network.c = [| 0.5; 0.5 |]; r = [| 0.2; 0.4 |] }
+
+let test_basis_peak () =
+  check_float "peak at center" 1. (Network.basis unit_center [| 0.5; 0.5 |])
+
+let test_basis_value () =
+  (* h = exp(-((0.1/0.2)^2 + (0.2/0.4)^2)) = exp(-0.5) *)
+  check_float ~eps:1e-12 "known value" (exp (-0.5))
+    (Network.basis unit_center [| 0.6; 0.7 |])
+
+let test_basis_symmetric () =
+  check_float ~eps:1e-12 "symmetry"
+    (Network.basis unit_center [| 0.6; 0.5 |])
+    (Network.basis unit_center [| 0.4; 0.5 |])
+
+let test_basis_decay () =
+  let near = Network.basis unit_center [| 0.55; 0.5 |] in
+  let far = Network.basis unit_center [| 0.9; 0.5 |] in
+  Alcotest.(check bool) "monotone decay" true (near > far)
+
+let test_check_center () =
+  Alcotest.check_raises "zero radius"
+    (Invalid_argument "Network: non-positive radius") (fun () ->
+      Network.check_center { Network.c = [| 0. |]; r = [| 0. |] })
+
+(* ---------- network eval / fit ---------- *)
+
+let test_eval_weighted_sum () =
+  let c1 = { Network.c = [| 0. |]; r = [| 1. |] } in
+  let c2 = { Network.c = [| 1. |]; r = [| 1. |] } in
+  let net = { Network.centers = [| c1; c2 |]; weights = [| 2.; 3. |] } in
+  let x = [| 0.5 |] in
+  check_float ~eps:1e-12 "weighted sum"
+    ((2. *. Network.basis c1 x) +. (3. *. Network.basis c2 x))
+    (Network.eval net x)
+
+let test_design_matrix () =
+  let centers = [| unit_center |] in
+  let points = [| [| 0.5; 0.5 |]; [| 0.6; 0.7 |] |] in
+  let h = Network.design_matrix centers points in
+  check_float "h00" 1. (Matrix.get h 0 0);
+  check_float ~eps:1e-12 "h10" (exp (-0.5)) (Matrix.get h 1 0)
+
+let test_fit_interpolates () =
+  (* as many narrow centers as points: the fit interpolates exactly *)
+  let points = [| [| 0.1 |]; [| 0.5 |]; [| 0.9 |] |] in
+  let responses = [| 1.; 4.; 2. |] in
+  let centers =
+    Array.map (fun p -> { Network.c = Array.copy p; r = [| 0.05 |] }) points
+  in
+  let net, diag = Network.fit ~centers ~points ~responses () in
+  Alcotest.(check bool) "tiny rss" true (diag.Network.rss < 1e-6);
+  Array.iteri
+    (fun i p ->
+      check_float ~eps:1e-3 "interpolation" responses.(i) (Network.eval net p))
+    points
+
+let test_fit_rejects_more_centers_than_points () =
+  let points = [| [| 0.5 |] |] in
+  let centers =
+    [|
+      { Network.c = [| 0.3 |]; r = [| 0.1 |] };
+      { Network.c = [| 0.7 |]; r = [| 0.1 |] };
+    |]
+  in
+  Alcotest.check_raises "overdetermined"
+    (Invalid_argument "Network.fit: more centers than points") (fun () ->
+      ignore (Network.fit ~centers ~points ~responses:[| 1. |] ()))
+
+let test_fit_coincident_centers_regularized () =
+  let points = [| [| 0.1 |]; [| 0.5 |]; [| 0.9 |] |] in
+  let c = { Network.c = [| 0.5 |]; r = [| 0.3 |] } in
+  let _, diag =
+    Network.fit ~ridge:0. ~centers:[| c; c |] ~points
+      ~responses:[| 1.; 2.; 3. |] ()
+  in
+  Alcotest.(check bool) "regularized" true diag.Network.regularized
+
+(* ---------- criteria ---------- *)
+
+let test_aicc_formula () =
+  (* p=100, m=10, sigma2=0.25 *)
+  let expected =
+    (100. *. log 0.25) +. 20. +. (2. *. 10. *. 11. /. (100. -. 10. -. 1.))
+  in
+  check_float ~eps:1e-9 "aicc" expected
+    (Criteria.score Criteria.Aicc ~p:100 ~m:10 ~sigma2:0.25)
+
+let test_aicc_degenerate () =
+  Alcotest.(check bool) "m >= p-1 infinite" true
+    (Criteria.score Criteria.Aicc ~p:10 ~m:9 ~sigma2:0.5 = infinity);
+  Alcotest.(check bool) "sigma2=0 infinite" true
+    (Criteria.score Criteria.Aicc ~p:100 ~m:5 ~sigma2:0. = infinity)
+
+let test_bic_penalizes_more () =
+  (* for p >= 8, log p > 2 so BIC penalises extra terms harder than AIC *)
+  let a m = Criteria.score Criteria.Aic ~p:100 ~m ~sigma2:0.5 in
+  let b m = Criteria.score Criteria.Bic ~p:100 ~m ~sigma2:0.5 in
+  Alcotest.(check bool) "bic stiffer" true (b 20 -. b 10 > a 20 -. a 10)
+
+let test_criteria_string_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "roundtrip" true
+        (Criteria.of_string (Criteria.to_string c) = Some c))
+    [ Criteria.Aicc; Criteria.Aic; Criteria.Bic; Criteria.Gcv ]
+
+(* ---------- tree centers ---------- *)
+
+let small_tree () =
+  let rng = Rng.create 3 in
+  let points =
+    Array.init 40 (fun _ -> [| Rng.unit_float rng; Rng.unit_float rng |])
+  in
+  let responses = Array.map (fun p -> exp p.(0) +. p.(1)) points in
+  (Tree.build ~p_min:3 ~dim:2 ~points ~responses (), points, responses)
+
+let test_tree_centers_radii () =
+  let tree, _, _ = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  Alcotest.(check int) "one per node" (Tree.node_count tree)
+    (Array.length candidates);
+  (* root candidate: center 0.5^2, radius 5 * 1 *)
+  let root = candidates.(0) in
+  check_float "root center" 0.5 root.Tree_centers.center.Network.c.(0);
+  check_float "root radius" 5. root.Tree_centers.center.Network.r.(0)
+
+let test_tree_centers_alpha_checked () =
+  let tree, _, _ = small_tree () in
+  Alcotest.check_raises "alpha <= 0"
+    (Invalid_argument "Tree_centers.of_tree: alpha <= 0") (fun () ->
+      ignore (Tree_centers.of_tree ~alpha:0. tree))
+
+(* ---------- subset scorer vs exact fits ---------- *)
+
+let prop_scorer_matches_qr =
+  qtest ~count:30 "gram scorer sigma2 = QR sigma2"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = 15 + Rng.int rng 20 in
+      let points =
+        Array.init p (fun _ -> [| Rng.unit_float rng; Rng.unit_float rng |])
+      in
+      let responses = Array.init p (fun _ -> Rng.unit_float rng) in
+      let centers =
+        Array.init 6 (fun _ ->
+            {
+              Network.c = [| Rng.unit_float rng; Rng.unit_float rng |];
+              r = [| 0.3 +. Rng.unit_float rng; 0.3 +. Rng.unit_float rng |];
+            })
+      in
+      let design = Network.design_matrix centers points in
+      let scorer = Subset_scorer.create ~design ~responses in
+      let subset = [ 0; 2; 4 ] in
+      match Subset_scorer.sigma2 scorer subset with
+      | None -> false
+      | Some s2 ->
+          let h = Matrix.select_cols design (Array.of_list subset) in
+          let f = Least_squares.fit h responses in
+          abs_float (s2 -. f.Least_squares.sigma2) < 1e-6)
+
+let test_scorer_empty_subset () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let centers = Array.map (fun c -> c.Tree_centers.center) candidates in
+  let design = Network.design_matrix centers points in
+  let scorer = Subset_scorer.create ~design ~responses in
+  Alcotest.(check bool) "empty is None" true
+    (Subset_scorer.sigma2 scorer [] = None);
+  Alcotest.(check bool) "empty scores infinity" true
+    (Subset_scorer.score scorer ~criterion:Criteria.Aicc [] = infinity)
+
+(* ---------- selection ---------- *)
+
+let test_selection_produces_model () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result = Selection.select ~tree ~candidates ~points ~responses () in
+  Alcotest.(check bool) "nonempty" true
+    (result.Selection.selected_node_ids <> []);
+  Alcotest.(check bool) "criterion finite" true
+    (Float.is_finite result.Selection.criterion);
+  Alcotest.(check bool) "fewer centers than points" true
+    (List.length result.Selection.selected_node_ids < Array.length points)
+
+let test_selection_fits_training_data () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result = Selection.select ~tree ~candidates ~points ~responses () in
+  let predicted =
+    Array.map (Network.eval result.Selection.network) points
+  in
+  let r2 =
+    Archpred_stats.Correlation.r_squared ~actual:responses ~predicted
+  in
+  Alcotest.(check bool) "training R2 > 0.9" true (r2 > 0.9)
+
+let test_selection_ids_are_tree_nodes () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result = Selection.select ~tree ~candidates ~points ~responses () in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= Tree.node_count tree then
+        Alcotest.failf "bad node id %d" id)
+    result.Selection.selected_node_ids
+
+let test_selection_beats_root_only () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result = Selection.select ~tree ~candidates ~points ~responses () in
+  let centers = Array.map (fun c -> c.Tree_centers.center) candidates in
+  let design = Network.design_matrix centers points in
+  let root_score =
+    Selection.evaluate_subset ~criterion:Criteria.Aicc ~design ~responses [ 0 ]
+  in
+  Alcotest.(check bool) "selection <= root-only" true
+    (result.Selection.criterion <= root_score +. 1e-9)
+
+
+let test_forward_selection () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result = Selection.select_forward ~candidates ~points ~responses () in
+  Alcotest.(check bool) "nonempty" true
+    (result.Selection.selected_node_ids <> []);
+  Alcotest.(check bool) "criterion finite" true
+    (Float.is_finite result.Selection.criterion);
+  let predicted = Array.map (Network.eval result.Selection.network) points in
+  let r2 = Archpred_stats.Correlation.r_squared ~actual:responses ~predicted in
+  Alcotest.(check bool) "fits training data" true (r2 > 0.9)
+
+let test_forward_respects_cap () =
+  let tree, points, responses = small_tree () in
+  let candidates = Tree_centers.of_tree ~alpha:5. tree in
+  let result =
+    Selection.select_forward ~max_centers:3 ~candidates ~points ~responses ()
+  in
+  Alcotest.(check bool) "at most 3" true
+    (List.length result.Selection.selected_node_ids <= 3)
+
+let () =
+  Alcotest.run "rbf"
+    [
+      ( "basis",
+        [
+          Alcotest.test_case "peak" `Quick test_basis_peak;
+          Alcotest.test_case "known value" `Quick test_basis_value;
+          Alcotest.test_case "symmetric" `Quick test_basis_symmetric;
+          Alcotest.test_case "decay" `Quick test_basis_decay;
+          Alcotest.test_case "check_center" `Quick test_check_center;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "weighted sum" `Quick test_eval_weighted_sum;
+          Alcotest.test_case "design matrix" `Quick test_design_matrix;
+          Alcotest.test_case "interpolates" `Quick test_fit_interpolates;
+          Alcotest.test_case "rejects m > p" `Quick test_fit_rejects_more_centers_than_points;
+          Alcotest.test_case "coincident centers" `Quick test_fit_coincident_centers_regularized;
+        ] );
+      ( "criteria",
+        [
+          Alcotest.test_case "aicc formula" `Quick test_aicc_formula;
+          Alcotest.test_case "aicc degenerate" `Quick test_aicc_degenerate;
+          Alcotest.test_case "bic stiffer" `Quick test_bic_penalizes_more;
+          Alcotest.test_case "string roundtrip" `Quick test_criteria_string_roundtrip;
+        ] );
+      ( "tree_centers",
+        [
+          Alcotest.test_case "radii" `Quick test_tree_centers_radii;
+          Alcotest.test_case "alpha checked" `Quick test_tree_centers_alpha_checked;
+        ] );
+      ( "subset_scorer",
+        [
+          prop_scorer_matches_qr;
+          Alcotest.test_case "empty subset" `Quick test_scorer_empty_subset;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "produces model" `Quick test_selection_produces_model;
+          Alcotest.test_case "fits training data" `Quick test_selection_fits_training_data;
+          Alcotest.test_case "ids are tree nodes" `Quick test_selection_ids_are_tree_nodes;
+          Alcotest.test_case "beats root-only" `Quick test_selection_beats_root_only;
+          Alcotest.test_case "forward selection" `Quick test_forward_selection;
+          Alcotest.test_case "forward cap" `Quick test_forward_respects_cap;
+        ] );
+    ]

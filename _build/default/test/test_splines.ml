@@ -1,0 +1,74 @@
+(* Tests for archpred.splines: the MARS-style baseline (Lee & Brooks). *)
+
+module Mars = Archpred_splines.Mars
+module Rng = Archpred_stats.Rng
+
+let data rng n dim f =
+  let points =
+    Array.init n (fun _ -> Array.init dim (fun _ -> Rng.unit_float rng))
+  in
+  (points, Array.map f points)
+
+let test_basis_values () =
+  let h = Mars.Hinge { dim = 0; knot = 0.5; positive = true } in
+  Alcotest.(check (float 1e-12)) "above knot" 0.2 (Mars.basis_value h [| 0.7 |]);
+  Alcotest.(check (float 1e-12)) "below knot" 0. (Mars.basis_value h [| 0.3 |]);
+  let g = Mars.Hinge { dim = 0; knot = 0.5; positive = false } in
+  Alcotest.(check (float 1e-12)) "mirror" 0.2 (Mars.basis_value g [| 0.3 |]);
+  Alcotest.(check (float 1e-12)) "intercept" 1.
+    (Mars.basis_value Mars.Intercept [| 0.9 |])
+
+let test_fits_kink () =
+  (* a piecewise-linear response with a kink at 0.5: exactly MARS's game *)
+  let rng = Rng.create 1 in
+  let f p = 1. +. if p.(0) > 0.5 then 4. *. (p.(0) -. 0.5) else 0. in
+  let points, responses = data rng 80 2 f in
+  let m = Mars.train ~points ~responses () in
+  List.iter
+    (fun x ->
+      let p = [| x; 0.5 |] in
+      if abs_float (Mars.predict m p -. f p) > 0.15 then
+        Alcotest.failf "bad fit at %.2f: %.3f vs %.3f" x (Mars.predict m p) (f p))
+    [ 0.1; 0.3; 0.45; 0.6; 0.8; 0.95 ]
+
+let test_fits_linear_exactly () =
+  let rng = Rng.create 2 in
+  let f p = 2. -. (3. *. p.(0)) in
+  let points, responses = data rng 50 1 f in
+  let m = Mars.train ~points ~responses () in
+  Alcotest.(check bool) "small gcv" true (Mars.gcv m < 1e-3);
+  Alcotest.(check bool) "accurate" true
+    (abs_float (Mars.predict m [| 0.25 |] -. f [| 0.25 |]) < 0.05)
+
+let test_prunes_to_compact_model () =
+  let rng = Rng.create 3 in
+  let f p = p.(0) in
+  let points, responses = data rng 60 5 f in
+  let m = Mars.train ~points ~responses () in
+  (* a 1-active-dimension response should not need many terms *)
+  Alcotest.(check bool) "compact" true (List.length (Mars.terms m) <= 7)
+
+let test_constant_response () =
+  let rng = Rng.create 4 in
+  let points, responses = data rng 30 2 (fun _ -> 3. ) in
+  let m = Mars.train ~points ~responses () in
+  Alcotest.(check bool) "constant" true
+    (abs_float (Mars.predict m [| 0.5; 0.5 |] -. 3.) < 1e-6)
+
+let test_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mars.train: empty sample")
+    (fun () -> ignore (Mars.train ~points:[||] ~responses:[||] ()))
+
+let () =
+  Alcotest.run "splines"
+    [
+      ( "mars",
+        [
+          Alcotest.test_case "basis values" `Quick test_basis_values;
+          Alcotest.test_case "fits kink" `Quick test_fits_kink;
+          Alcotest.test_case "fits linear" `Quick test_fits_linear_exactly;
+          Alcotest.test_case "prunes" `Quick test_prunes_to_compact_model;
+          Alcotest.test_case "constant" `Quick test_constant_response;
+          Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+        ] );
+    ]

@@ -25,6 +25,7 @@ module Stats = Archpred_stats
 module Rbf = Archpred_rbf
 module Tree = Archpred_regtree.Tree
 module Linreg = Archpred_linreg
+module Ils = Archpred_linalg.Incremental_ls
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark fixtures: small, deterministic work items.          *)
@@ -51,6 +52,27 @@ let fixture_tree =
   lazy
     (Tree.build ~p_min:1 ~dim:9 ~points:(Lazy.force fixture_sample)
        ~responses:(Lazy.force fixture_responses) ())
+
+let fixture_sample_256 =
+  lazy
+    (let rng = Stats.Rng.create 11 in
+     Design.Lhs.sample rng Core.Paper_space.space ~n:256)
+
+(* Full RBF design matrix over the tree candidates, plus a mid-size base
+   subset and one extra column: the unit of work of the selection walk. *)
+let fixture_selection =
+  lazy
+    (let tree = Lazy.force fixture_tree in
+     let candidates = Rbf.Tree_centers.of_tree ~alpha:7. tree in
+     let centers = Array.map (fun c -> c.Rbf.Tree_centers.center) candidates in
+     let design =
+       Rbf.Network.design_matrix centers (Lazy.force fixture_sample)
+     in
+     let responses = Lazy.force fixture_responses in
+     let m = Array.length candidates in
+     let base = List.init (min 12 (m - 1)) Fun.id in
+     let extra = min (m - 1) 20 in
+     (design, responses, base, extra))
 
 let fixture_predictor =
   lazy
@@ -126,7 +148,64 @@ let micro_tests =
       let points = Lazy.force fixture_sample in
       let responses = Lazy.force fixture_responses in
       fun () -> ignore (Linreg.Model.stepwise ~points ~responses ()) );
+    (* Domain-pool dispatch cost: map a trivial function with at least two
+       domains so the pooled path (not the serial shortcut) is exercised
+       even on a single-core host. *)
+    ( "parallel_map_overhead",
+      let domains = max 2 (Stats.Parallel.default_domains ()) in
+      let xs = Array.init 256 float_of_int in
+      fun () -> ignore (Stats.Parallel.map ~domains (fun x -> x +. 1.) xs) );
+    (* The i/j-symmetric pair kernel at a size where the halved pair count
+       dominates (n=256: 32k ordered pairs instead of 65k). *)
+    ( "l2star_symmetric_n256",
+      let sample = Lazy.force fixture_sample_256 in
+      fun () -> ignore (Design.Discrepancy.l2_star sample) );
+    (* One candidate step of center selection, both ways: a full QR refit
+       of the subset versus an incremental push / score / pop on a shared
+       Cholesky factor of the normal equations. *)
+    ( "selection_score_full",
+      let design, responses, base, extra = Lazy.force fixture_selection in
+      let cols = base @ [ extra ] in
+      fun () ->
+        ignore
+          (Rbf.Selection.evaluate_subset ~criterion:Rbf.Criteria.Aicc ~design
+             ~responses cols) );
+    ( "selection_score_incremental",
+      let design, responses, base, extra = Lazy.force fixture_selection in
+      let scorer = Rbf.Subset_scorer.create ~design ~responses in
+      let fac = Ils.factor (Rbf.Subset_scorer.incremental scorer) in
+      assert (Ils.set fac base);
+      fun () ->
+        if Ils.push fac extra then begin
+          ignore
+            (Rbf.Subset_scorer.score_factor scorer fac
+               ~criterion:Rbf.Criteria.Aicc);
+          Ils.pop fac
+        end );
   ]
+
+(* Machine-readable results for regression tracking.  The group prefix
+   Bechamel adds ("archpred/") is stripped so names match micro_tests. *)
+let write_bench_json measured =
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n"
+    (Stats.Parallel.default_domains ());
+  let n = List.length measured in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.3f }%s\n"
+        (strip name) ns
+        (if i = n - 1 then "" else ","))
+    measured;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let run_micro () =
   let open Bechamel in
@@ -149,19 +228,25 @@ let run_micro () =
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-42s %16s\n" "benchmark" "time/run";
   print_endline (String.make 60 '-');
-  List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some (t :: _) ->
-          let pretty =
-            if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
-            else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
-            else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
-            else Printf.sprintf "%.1f ns" t
-          in
-          Printf.printf "%-42s %16s\n" name pretty
-      | Some [] | None -> Printf.printf "%-42s %16s\n" name "n/a")
-    rows
+  let measured =
+    List.filter_map
+      (fun (name, v) ->
+        match Analyze.OLS.estimates v with
+        | Some (t :: _) ->
+            let pretty =
+              if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+              else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+              else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+              else Printf.sprintf "%.1f ns" t
+            in
+            Printf.printf "%-42s %16s\n" name pretty;
+            Some (name, t)
+        | Some [] | None ->
+            Printf.printf "%-42s %16s\n" name "n/a";
+            None)
+      rows
+  in
+  write_bench_json measured
 
 (* ------------------------------------------------------------------ *)
 

@@ -17,6 +17,11 @@ module Workloads = Archpred_workloads
 module Core = Archpred_core
 module Experiments = Archpred_experiments
 
+(* Parallelism for every training stage: the ARCHPRED_DOMAINS environment
+   variable overrides the machine default.  Trained models are identical
+   for every value (see Stats.Parallel); only wall-clock changes. *)
+let env_domains = Stats.Parallel.env_domains ()
+
 (* ---------- shared arguments ---------- *)
 
 let benchmark_arg =
@@ -182,7 +187,7 @@ let train_cmd =
       Core.Response.simulator_metric ~trace_length ~seed ~metric bench
     in
     let test = Core.Paper_space.test_points rng ~n:test_n in
-    let actual = Core.Response.evaluate_many response test in
+    let actual = Core.Response.evaluate_many ?domains:env_domains response test in
     let t0 = Unix.gettimeofday () in
     let trained =
       match target with
@@ -190,14 +195,16 @@ let train_cmd =
           Format.printf "training RBF %s model for %s (n=%d, trace=%d)...@."
             (Core.Response.metric_to_string metric)
             bench.Workloads.Profile.name n trace_length;
-          Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+          Core.Build.train ?domains:env_domains ~rng
+            ~space:Core.Paper_space.space ~response ~n ()
       | Some target_mean_pct ->
           Format.printf
             "building to %.1f%% mean error for %s (schedule %s)...@."
             target_mean_pct bench.Workloads.Profile.name
             (String.concat "," (List.map string_of_int sizes));
           let history =
-            Core.Build.build_to_accuracy ~rng ~space:Core.Paper_space.space
+            Core.Build.build_to_accuracy ?domains:env_domains ~rng
+              ~space:Core.Paper_space.space
               ~response ~sizes ~test_points:test ~test_responses:actual
               ~target_mean_pct ()
           in
@@ -273,7 +280,8 @@ let search_cmd =
     let rng = Stats.Rng.create seed in
     let response = Core.Response.simulator ~trace_length ~seed bench in
     let trained =
-      Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+      Core.Build.train ?domains:env_domains ~rng ~space:Core.Paper_space.space
+        ~response ~n ()
     in
     let result =
       Core.Search.minimize ~rng ~predictor:trained.Core.Build.predictor ()
@@ -300,7 +308,8 @@ let sensitivity_cmd =
       Core.Response.simulator_metric ~trace_length ~seed ~metric bench
     in
     let trained =
-      Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n ()
+      Core.Build.train ?domains:env_domains ~rng ~space:Core.Paper_space.space
+        ~response ~n ()
     in
     let predictor = trained.Core.Build.predictor in
     Format.printf "parameter significance for %s (%s), from a %d-simulation model@.@."

@@ -14,12 +14,12 @@ let train ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100) ?domains
     ~rng ~space ~response ~n () =
   let plan =
     Design.Optimize.best_lhs ~kind:Design.Discrepancy.Star
-      ~candidates:lhs_candidates rng space ~n
+      ~candidates:lhs_candidates ?domains rng space ~n
   in
   let sample = plan.Design.Optimize.points in
   let sample_responses = Response.evaluate_many ?domains response sample in
   let tune =
-    Tune.tune ?criterion ?p_min_grid ?alpha_grid
+    Tune.tune ?criterion ?p_min_grid ?alpha_grid ?domains
       ~dim:(Design.Space.dimension space) ~points:sample
       ~responses:sample_responses ()
   in

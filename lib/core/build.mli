@@ -31,7 +31,9 @@ val train :
   trained
 (** Train a model on an [n]-point sample of [space].  [lhs_candidates]
     (default 100) latin hypercube samples are scored by L2-star
-    discrepancy and the best is simulated. *)
+    discrepancy and the best is simulated.  [domains] reaches every
+    parallel stage — candidate scoring, simulation, and the tuning grid —
+    and the trained predictor is identical for every value of it. *)
 
 type step = {
   size : int;

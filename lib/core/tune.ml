@@ -1,5 +1,6 @@
 module Tree = Archpred_regtree.Tree
 module Rbf = Archpred_rbf
+module Parallel = Archpred_stats.Parallel
 
 type result = {
   p_min : int;
@@ -13,25 +14,49 @@ let default_p_min_grid = [ 1; 2; 3 ]
 let default_alpha_grid = [ 3.; 5.; 7.; 9.; 12. ]
 
 let tune ?(criterion = Rbf.Criteria.Aicc) ?(p_min_grid = default_p_min_grid)
-    ?(alpha_grid = default_alpha_grid) ~dim ~points ~responses () =
+    ?(alpha_grid = default_alpha_grid) ?domains ~dim ~points ~responses () =
   if p_min_grid = [] || alpha_grid = [] then
     invalid_arg "Tune.tune: empty grid";
-  let best = ref None in
-  List.iter
-    (fun p_min ->
-      let tree = Tree.build ~p_min ~dim ~points ~responses () in
-      List.iter
-        (fun alpha ->
-          let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
-          let selection =
-            Rbf.Selection.select ~criterion ~tree ~candidates ~points
-              ~responses ()
-          in
-          let value = selection.Rbf.Selection.criterion in
-          match !best with
-          | Some b when b.criterion <= value -> ()
-          | Some _ | None ->
-              best := Some { p_min; alpha; criterion = value; tree; selection })
-        alpha_grid)
-    p_min_grid;
-  match !best with Some b -> b | None -> assert false
+  (* One tree per p_min, built once and shared read-only by every alpha
+     cell of its row. *)
+  let p_mins = Array.of_list p_min_grid in
+  let trees =
+    Parallel.map ?domains
+      (fun p_min -> Tree.build ~p_min ~dim ~points ~responses ())
+      p_mins
+  in
+  (* Fan the full p_min x alpha grid over the pool.  Cells are listed in
+     the serial iteration order (p_min outer, alpha inner) and each cell's
+     selection is deterministic, so the arg-min below — which keeps the
+     earliest cell on ties — matches the serial grid walk bit for bit,
+     whatever the domain count. *)
+  let cells =
+    Array.concat
+      (List.map
+         (fun i ->
+           Array.of_list
+             (List.map (fun alpha -> (p_mins.(i), trees.(i), alpha)) alpha_grid))
+         (List.init (Array.length p_mins) Fun.id))
+  in
+  let results =
+    Parallel.map ?domains
+      (fun (p_min, tree, alpha) ->
+        let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
+        let selection =
+          Rbf.Selection.select ~criterion ~tree ~candidates ~points ~responses
+            ()
+        in
+        {
+          p_min;
+          alpha;
+          criterion = selection.Rbf.Selection.criterion;
+          tree;
+          selection;
+        })
+      cells
+  in
+  let best = ref results.(0) in
+  for i = 1 to Array.length results - 1 do
+    if results.(i).criterion < !best.criterion then best := results.(i)
+  done;
+  !best

@@ -24,10 +24,13 @@ val tune :
   ?criterion:Archpred_rbf.Criteria.t ->
   ?p_min_grid:int list ->
   ?alpha_grid:float list ->
+  ?domains:int ->
   dim:int ->
   points:float array array ->
   responses:float array ->
   unit ->
   result
-(** Build a tree per [p_min], run center selection per [alpha], and return
-    the combination minimising the criterion. *)
+(** Build a tree per [p_min] (once, shared by its alpha row), fan the
+    [p_min] x [alpha] cells over the domain pool, and return the
+    combination minimising the criterion.  Ties keep the earliest grid
+    cell, so the result is identical for every [domains] value. *)

@@ -1,37 +1,57 @@
+module Parallel = Archpred_stats.Parallel
+
 let check points =
   if Array.length points = 0 then invalid_arg "Discrepancy: empty sample";
   Array.length points.(0)
+
+(* Both closed forms below contain a double sum over point pairs whose
+   kernel is symmetric in (i, j).  We therefore sum the diagonal and the
+   strict upper triangle only — half the pairwise work — and parallelise
+   the triangle by rows.  Each row's partial sum is written to its own
+   slot and the slots are folded in row order afterwards, so the result is
+   bit-identical for every domain count (only the grouping of *rows* onto
+   domains varies, never the order of additions within the total). *)
 
 (* Warnock's closed form:
    D2*^2 = 3^-d
          - (2^(1-d) / n)   sum_i prod_k (1 - x_ik^2)
          + (1 / n^2)       sum_{i,j} prod_k (1 - max(x_ik, x_jk)) *)
-let l2_star points =
+let l2_star ?domains points =
   let d = check points in
   let n = Array.length points in
   let nf = float_of_int n in
   let term1 = 3. ** float_of_int (-d) in
   let sum2 = ref 0. in
+  let diag = ref 0. in
   Array.iter
     (fun x ->
       let prod = ref 1. in
+      let prod_diag = ref 1. in
       for k = 0 to d - 1 do
-        prod := !prod *. (1. -. (x.(k) *. x.(k)))
+        prod := !prod *. (1. -. (x.(k) *. x.(k)));
+        (* max(x_ik, x_ik) = x_ik *)
+        prod_diag := !prod_diag *. (1. -. x.(k))
       done;
-      sum2 := !sum2 +. !prod)
+      sum2 := !sum2 +. !prod;
+      diag := !diag +. !prod_diag)
     points;
   let term2 = 2. ** float_of_int (1 - d) /. nf *. !sum2 in
-  let sum3 = ref 0. in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let prod = ref 1. in
-      for k = 0 to d - 1 do
-        prod := !prod *. (1. -. Float.max points.(i).(k) points.(j).(k))
-      done;
-      sum3 := !sum3 +. !prod
-    done
-  done;
-  let term3 = !sum3 /. (nf *. nf) in
+  let row_sums =
+    Parallel.init ?domains n (fun i ->
+        let xi = points.(i) in
+        let acc = ref 0. in
+        for j = i + 1 to n - 1 do
+          let xj = points.(j) in
+          let prod = ref 1. in
+          for k = 0 to d - 1 do
+            prod := !prod *. (1. -. Float.max xi.(k) xj.(k))
+          done;
+          acc := !acc +. !prod
+        done;
+        !acc)
+  in
+  let off = Array.fold_left ( +. ) 0. row_sums in
+  let term3 = (!diag +. (2. *. off)) /. (nf *. nf) in
   sqrt (Float.max 0. (term1 -. term2 +. term3))
 
 (* Hickernell's centered L2 discrepancy:
@@ -39,38 +59,52 @@ let l2_star points =
         - (2/n)   sum_i prod_k (1 + |z_ik|/2 - z_ik^2/2)
         + (1/n^2) sum_{i,j} prod_k (1 + |z_ik|/2 + |z_jk|/2 - |x_ik - x_jk|/2)
    where z_ik = x_ik - 1/2. *)
-let centered_l2 points =
+let centered_l2 ?domains points =
   let d = check points in
   let n = Array.length points in
   let nf = float_of_int n in
   let term1 = (13. /. 12.) ** float_of_int d in
+  (* |x_ik - 1/2| is needed O(n) times per point by the pair sum; hoist it. *)
+  let zs =
+    Array.map (fun x -> Array.map (fun v -> abs_float (v -. 0.5)) x) points
+  in
   let sum2 = ref 0. in
+  let diag = ref 0. in
   Array.iter
-    (fun x ->
+    (fun z ->
       let prod = ref 1. in
+      let prod_diag = ref 1. in
       for k = 0 to d - 1 do
-        let z = abs_float (x.(k) -. 0.5) in
-        prod := !prod *. (1. +. (0.5 *. z) -. (0.5 *. z *. z))
+        let zk = z.(k) in
+        prod := !prod *. (1. +. (0.5 *. zk) -. (0.5 *. zk *. zk));
+        (* i = j: z_i = z_j and |x_i - x_j| = 0 *)
+        prod_diag := !prod_diag *. (1. +. zk)
       done;
-      sum2 := !sum2 +. !prod)
-    points;
+      sum2 := !sum2 +. !prod;
+      diag := !diag +. !prod_diag)
+    zs;
   let term2 = 2. /. nf *. !sum2 in
-  let sum3 = ref 0. in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      let prod = ref 1. in
-      for k = 0 to d - 1 do
-        let zi = abs_float (points.(i).(k) -. 0.5) in
-        let zj = abs_float (points.(j).(k) -. 0.5) in
-        let dij = abs_float (points.(i).(k) -. points.(j).(k)) in
-        prod := !prod *. (1. +. (0.5 *. zi) +. (0.5 *. zj) -. (0.5 *. dij))
-      done;
-      sum3 := !sum3 +. !prod
-    done
-  done;
-  let term3 = !sum3 /. (nf *. nf) in
+  let row_sums =
+    Parallel.init ?domains n (fun i ->
+        let xi = points.(i) and zi = zs.(i) in
+        let acc = ref 0. in
+        for j = i + 1 to n - 1 do
+          let xj = points.(j) and zj = zs.(j) in
+          let prod = ref 1. in
+          for k = 0 to d - 1 do
+            let dij = abs_float (xi.(k) -. xj.(k)) in
+            prod := !prod *. (1. +. (0.5 *. zi.(k)) +. (0.5 *. zj.(k)) -. (0.5 *. dij))
+          done;
+          acc := !acc +. !prod
+        done;
+        !acc)
+  in
+  let off = Array.fold_left ( +. ) 0. row_sums in
+  let term3 = (!diag +. (2. *. off)) /. (nf *. nf) in
   sqrt (Float.max 0. (term1 -. term2 +. term3))
 
 type kind = Star | Centered
 
-let compute = function Star -> l2_star | Centered -> centered_l2
+let compute ?domains = function
+  | Star -> l2_star ?domains
+  | Centered -> centered_l2 ?domains

@@ -9,16 +9,22 @@
     - {!l2_star}: the classical star discrepancy in the L2 norm
       (Warnock's formula);
     - {!centered_l2}: Hickernell's centered L2 discrepancy, which is
-      invariant under reflections [u -> 1 - u] of any coordinate. *)
+      invariant under reflections [u -> 1 - u] of any coordinate.
 
-val l2_star : Space.point array -> float
+    The pairwise kernels are symmetric in (i, j), so only the diagonal and
+    the strict upper triangle are summed — half the naive double loop —
+    and the triangle rows are spread over the domain pool.  Per-row
+    partial sums are folded in row order, so every domain count produces
+    the same bits. *)
+
+val l2_star : ?domains:int -> Space.point array -> float
 (** Warnock's L2-star discrepancy of a sample in the unit cube.
     Raises [Invalid_argument] on an empty sample. *)
 
-val centered_l2 : Space.point array -> float
+val centered_l2 : ?domains:int -> Space.point array -> float
 (** Hickernell's centered L2 discrepancy. Raises [Invalid_argument] on an
     empty sample. *)
 
 type kind = Star | Centered
 
-val compute : kind -> Space.point array -> float
+val compute : ?domains:int -> kind -> Space.point array -> float

@@ -1,26 +1,42 @@
+module Rng = Archpred_stats.Rng
+module Parallel = Archpred_stats.Parallel
+
 type result = {
   points : Space.point array;
   discrepancy : float;
   candidates : int;
 }
 
-let best_lhs ?(kind = Discrepancy.Star) ?(candidates = 100) rng space ~n =
+let best_lhs ?(kind = Discrepancy.Star) ?(candidates = 100) ?domains rng space
+    ~n =
   if candidates < 1 then invalid_arg "Optimize.best_lhs: candidates < 1";
-  let best = ref None in
-  for _ = 1 to candidates do
-    let points = Lhs.sample rng space ~n in
-    let disc = Discrepancy.compute kind points in
-    match !best with
-    | Some (_, best_disc) when best_disc <= disc -> ()
-    | Some _ | None -> best := Some (points, disc)
+  (* One split per candidate, drawn sequentially from the caller's rng:
+     each candidate owns an independent stream fixed by the seed alone, so
+     scoring them on any number of domains returns the same bits (and
+     advances [rng] by exactly [candidates] splits). *)
+  let streams = Array.make candidates rng in
+  for i = 0 to candidates - 1 do
+    streams.(i) <- Rng.split rng
   done;
-  match !best with
-  | Some (points, discrepancy) -> { points; discrepancy; candidates }
-  | None -> assert false
+  let scored =
+    Parallel.map ?domains
+      (fun stream ->
+        let points = Lhs.sample stream space ~n in
+        (* The candidate level is already parallel; keep the inner kernel
+           on one domain rather than flooding the pool with subtasks. *)
+        (points, Discrepancy.compute ~domains:1 kind points))
+      streams
+  in
+  let best = ref 0 in
+  for i = 1 to candidates - 1 do
+    if snd scored.(i) < snd scored.(!best) then best := i
+  done;
+  let points, discrepancy = scored.(!best) in
+  { points; discrepancy; candidates }
 
-let discrepancy_curve ?kind ?candidates rng space ~sizes =
+let discrepancy_curve ?kind ?candidates ?domains rng space ~sizes =
   List.map
     (fun n ->
-      let r = best_lhs ?kind ?candidates rng space ~n in
+      let r = best_lhs ?kind ?candidates ?domains rng space ~n in
       (n, r.discrepancy))
     sizes

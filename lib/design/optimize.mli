@@ -3,7 +3,12 @@
     Section 2.2: "we generate a large number of latin hypercube samples and
     choose the one with the best L2-star discrepancy metric".  Figure 2 of
     the paper plots the best discrepancy found against sample size; the
-    {!discrepancy_curve} helper regenerates that series. *)
+    {!discrepancy_curve} helper regenerates that series.
+
+    Candidates are scored in parallel over the domain pool.  Each candidate
+    draws from its own split of the caller's generator, so the chosen
+    sample is a function of the seed alone — bit-identical for every
+    [domains] value. *)
 
 type result = {
   points : Space.point array;
@@ -14,17 +19,20 @@ type result = {
 val best_lhs :
   ?kind:Discrepancy.kind ->
   ?candidates:int ->
+  ?domains:int ->
   Archpred_stats.Rng.t ->
   Space.t ->
   n:int ->
   result
 (** [best_lhs rng space ~n] draws [candidates] (default 100) latin
     hypercube samples of size [n] and keeps the one with the lowest
-    discrepancy (default {!Discrepancy.Star}). *)
+    discrepancy (default {!Discrepancy.Star}).  Advances [rng] by exactly
+    [candidates] splits; ties keep the earliest candidate. *)
 
 val discrepancy_curve :
   ?kind:Discrepancy.kind ->
   ?candidates:int ->
+  ?domains:int ->
   Archpred_stats.Rng.t ->
   Space.t ->
   sizes:int list ->

@@ -1,0 +1,137 @@
+type t = {
+  p : int;
+  n_cols : int;
+  gram : float array; (* n_cols x n_cols, row-major; symmetric *)
+  hy : float array; (* n_cols *)
+  yty : float;
+  jitter : float;
+}
+
+let create ?(jitter = 0.) ~design ~responses () =
+  let p = Matrix.rows design in
+  if p <> Array.length responses then
+    invalid_arg "Incremental_ls.create: dimension mismatch";
+  if jitter < 0. then invalid_arg "Incremental_ls.create: negative jitter";
+  let nc = Matrix.cols design in
+  let g = Matrix.tmul design design in
+  let gram = Array.make (nc * nc) 0. in
+  for a = 0 to nc - 1 do
+    for b = 0 to nc - 1 do
+      gram.((a * nc) + b) <- Matrix.get g a b
+    done
+  done;
+  let hy =
+    Array.init nc (fun j ->
+        let acc = ref 0. in
+        for i = 0 to p - 1 do
+          acc := !acc +. (Matrix.get design i j *. responses.(i))
+        done;
+        !acc)
+  in
+  let yty = Array.fold_left (fun acc y -> acc +. (y *. y)) 0. responses in
+  { p; n_cols = nc; gram; hy; yty; jitter }
+
+let p t = t.p
+let n_cols t = t.n_cols
+let yty t = t.yty
+
+type factor = {
+  ls : t;
+  ids : int array; (* active columns, in push order *)
+  l : float array; (* lower-triangular Cholesky rows, stride n_cols *)
+  z : float array; (* z = L^-1 (H'y)_S, kept in step with l *)
+  mutable m : int;
+}
+
+let factor ls =
+  let n = max 1 ls.n_cols in
+  {
+    ls;
+    ids = Array.make n (-1);
+    l = Array.make (n * n) 0.;
+    z = Array.make n 0.;
+    m = 0;
+  }
+
+let size f = f.m
+let ids f = Array.sub f.ids 0 f.m
+let reset f = f.m <- 0
+
+let push f j =
+  let ls = f.ls in
+  let n = ls.n_cols in
+  if j < 0 || j >= n then invalid_arg "Incremental_ls.push: bad column";
+  let m = f.m in
+  if m >= n then invalid_arg "Incremental_ls.push: factor full";
+  let l = f.l and ids = f.ids and gram = ls.gram in
+  let row = m * n in
+  (* Forward-substitute the new row of L against the existing rows:
+     L_mk = (G_{ids_k, j} - sum_{q<k} L_mq L_kq) / L_kk. *)
+  for k = 0 to m - 1 do
+    let acc = ref (Array.unsafe_get gram ((Array.unsafe_get ids k * n) + j)) in
+    let krow = k * n in
+    for q = 0 to k - 1 do
+      acc :=
+        !acc -. (Array.unsafe_get l (row + q) *. Array.unsafe_get l (krow + q))
+    done;
+    Array.unsafe_set l (row + k) (!acc /. Array.unsafe_get l (krow + k))
+  done;
+  let d2 = ref (Array.unsafe_get gram ((j * n) + j) +. ls.jitter) in
+  for q = 0 to m - 1 do
+    let v = Array.unsafe_get l (row + q) in
+    d2 := !d2 -. (v *. v)
+  done;
+  if !d2 <= 0. then false
+  else begin
+    let lmm = sqrt !d2 in
+    Array.unsafe_set l (row + m) lmm;
+    (* z grows by one entry per push and truncates on pop, so the explained
+       sum of squares is always [sum z_k^2] over the live prefix. *)
+    let zm = ref ls.hy.(j) in
+    for k = 0 to m - 1 do
+      zm := !zm -. (Array.unsafe_get l (row + k) *. Array.unsafe_get f.z k)
+    done;
+    f.z.(m) <- !zm /. lmm;
+    ids.(m) <- j;
+    f.m <- m + 1;
+    true
+  end
+
+let pop f =
+  if f.m = 0 then invalid_arg "Incremental_ls.pop: empty factor";
+  (* L is lower-triangular: dropping the last row and column is exact
+     truncation, no refactorisation. *)
+  f.m <- f.m - 1
+
+let set f cols =
+  reset f;
+  let ok = List.for_all (fun j -> push f j) cols in
+  if not ok then reset f;
+  ok
+
+let explained f =
+  let acc = ref 0. in
+  for k = 0 to f.m - 1 do
+    let z = Array.unsafe_get f.z k in
+    acc := !acc +. (z *. z)
+  done;
+  !acc
+
+let rss f = Float.max 0. (f.ls.yty -. explained f)
+
+let sigma2 f =
+  if f.m = 0 || f.m >= f.ls.p then None
+  else Some (rss f /. float_of_int f.ls.p)
+
+let solve f =
+  let m = f.m and n = f.ls.n_cols in
+  let w = Array.sub f.z 0 m in
+  (* Back-substitute L^T w = z; w.(k) pairs with (ids f).(k). *)
+  for i = m - 1 downto 0 do
+    let acc = ref w.(i) in
+    for j = i + 1 to m - 1 do
+      acc := !acc -. (Array.unsafe_get f.l ((j * n) + i) *. w.(j))
+    done;
+    w.(i) <- !acc /. Array.unsafe_get f.l ((i * n) + i)
+  done;
+  w

@@ -1,5 +1,6 @@
 module Matrix = Archpred_linalg.Matrix
 module Least_squares = Archpred_linalg.Least_squares
+module Ils = Archpred_linalg.Incremental_ls
 
 type t = {
   terms : Term.t list;
@@ -38,64 +39,102 @@ let aic ~p ~m ~sigma2 =
   if sigma2 <= 0. then neg_infinity
   else (float_of_int p *. log sigma2) +. (2. *. float_of_int m)
 
-let score criterion ~p terms points responses =
-  let m = List.length terms in
-  if m >= p then (infinity, None)
-  else
-    let model = fit ~terms ~points ~responses in
-    (criterion ~p ~m ~sigma2:model.sigma2, Some model)
-
 let stepwise ?(criterion = aic) ~points ~responses () =
   let p = Array.length points in
   if p = 0 then invalid_arg "Model.stepwise: empty sample";
   let dim = Array.length points.(0) in
   let pool = Term.full_set ~dim in
-  let start =
-    (* Main effects if they fit; otherwise just the intercept. *)
-    let mains = Term.main_effects_only ~dim in
-    if List.length mains < p then mains else [ Term.Intercept ]
+  let all_terms = Array.of_list pool in
+  let n_terms = Array.length all_terms in
+  (* Every move the search can make selects columns of one fixed design
+     matrix, so its Gram moments are computed once and each candidate set
+     is scored by an incremental Cholesky — no per-candidate design
+     rebuild, no per-candidate QR. *)
+  let ils =
+    Ils.create ~design:(design_matrix pool points) ~responses ()
   in
+  let fac = Ils.factor ils in
+  let score_factor m =
+    if m >= p then infinity
+    else
+      match Ils.sigma2 fac with
+      | None -> infinity
+      | Some sigma2 -> criterion ~p ~m ~sigma2
+  in
+  let score_set cols =
+    let m = List.length cols in
+    if m >= p then infinity
+    else if Ils.set fac cols then score_factor m
+    else infinity
+  in
+  let start =
+    (* Main effects if they fit; otherwise just the intercept.
+       [Term.full_set] lists the intercept and main effects first, so the
+       start set is the prefix of column indices. *)
+    let mains = Term.main_effects_only ~dim in
+    if List.length mains < p then List.init (List.length mains) Fun.id
+    else [ 0 ]
+  in
+  (* [current] holds column indices in the same order the old QR search
+     kept its term list: start order, additions appended at the end. *)
   let current = ref start in
-  let current_score, current_model = score criterion ~p !current points responses in
-  let best_score = ref current_score in
-  let best_model = ref current_model in
+  let best_score = ref (score_set !current) in
   let improved = ref true in
   while !improved do
     improved := false;
-    let additions =
-      List.filter (fun t -> not (List.exists (fun u -> Term.compare t u = 0) !current)) pool
-      |> List.map (fun t -> !current @ [ t ])
-    in
-    let removals =
-      List.filter (fun t -> t <> Term.Intercept) !current
-      |> List.map (fun t ->
-             List.filter (fun u -> Term.compare t u <> 0) !current)
-    in
-    let candidates = additions @ removals in
-    (* Evaluate every single-term move and take the best one. *)
     let best_move = ref None in
+    let consider sc cols =
+      match !best_move with
+      | Some (sc', _) when sc' <= sc -> ()
+      | Some _ | None -> best_move := Some (sc, cols)
+    in
+    (* Additions: the incumbent set is the shared factor base; each
+       candidate term is one O(m^2) push on top, popped before the next. *)
+    let m = List.length !current in
+    if m + 1 < p && Ils.set fac !current then
+      for j = 0 to n_terms - 1 do
+        if not (List.mem j !current) then begin
+          let sc =
+            if Ils.push fac j then begin
+              let sc = score_factor (m + 1) in
+              Ils.pop fac;
+              sc
+            end
+            else infinity
+          in
+          consider sc (!current @ [ j ])
+        end
+      done;
+    (* Removals: refactor the remaining m-1 columns (still cheaper than one
+       QR refit of the old implementation). *)
     List.iter
-      (fun terms ->
-        let sc, model = score criterion ~p terms points responses in
-        match !best_move with
-        | Some (sc', _, _) when sc' <= sc -> ()
-        | Some _ | None -> best_move := Some (sc, terms, model))
-      candidates;
+      (fun j ->
+        if all_terms.(j) <> Term.Intercept then begin
+          let cols = List.filter (fun u -> u <> j) !current in
+          consider (score_set cols) cols
+        end)
+      !current;
     (match !best_move with
-    | Some (sc, terms, model) when sc < !best_score -. 1e-12 ->
+    | Some (sc, cols) when sc < !best_score -. 1e-12 ->
         best_score := sc;
-        best_model := model;
-        current := terms;
+        current := cols;
         improved := true
     | Some _ | None -> ())
   done;
-  match !best_model with
-  | Some model -> model
-  | None ->
-      (* Degenerate data (e.g. a constant response gives -inf AIC for every
-         model, so no strict improvement is ever recorded): fit the start
-         set directly. *)
-      fit ~terms:start ~points ~responses
+  let terms_of cols = List.map (fun j -> all_terms.(j)) cols in
+  (* Final coefficients come from the same QR path as [fit], and the start
+     set is kept as a guard: the incremental criterion agrees with the QR
+     one to rounding, but never let rounding return a worse model than the
+     search started from. *)
+  let final_fit cols =
+    let model = fit ~terms:(terms_of cols) ~points ~responses in
+    (criterion ~p ~m:(List.length cols) ~sigma2:model.sigma2, model)
+  in
+  let start_crit, start_model = final_fit start in
+  if !current = start then start_model
+  else
+    let final_crit, final_model = final_fit !current in
+    if final_crit <= start_crit then final_model else start_model
 
 let pp ?names ppf t =
   List.iteri

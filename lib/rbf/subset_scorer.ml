@@ -1,61 +1,31 @@
-module Matrix = Archpred_linalg.Matrix
-module Cholesky = Archpred_linalg.Cholesky
+module Ils = Archpred_linalg.Incremental_ls
 
-type t = {
-  gram : Matrix.t; (* M x M *)
-  hy : float array; (* M *)
-  yty : float;
-  p : int;
-}
+type t = { ils : Ils.t; scratch : Ils.factor }
 
 (* matches Network.fit's default ridge, so the subset chosen by scoring
    is fitted under the same regularisation *)
 let jitter = 1e-8
 
 let create ~design ~responses =
-  let p = Matrix.rows design in
-  if p <> Array.length responses then
-    invalid_arg "Subset_scorer.create: dimension mismatch";
-  let gram = Matrix.tmul design design in
-  let hy =
-    Array.init (Matrix.cols design) (fun j ->
-        let acc = ref 0. in
-        for i = 0 to p - 1 do
-          acc := !acc +. (Matrix.get design i j *. responses.(i))
-        done;
-        !acc)
-  in
-  let yty = Array.fold_left (fun acc y -> acc +. (y *. y)) 0. responses in
-  { gram; hy; yty; p }
+  let ils = Ils.create ~jitter ~design ~responses () in
+  { ils; scratch = Ils.factor ils }
 
-let sigma2 t ids =
-  match ids with
-  | [] -> None
-  | _ ->
-      let cols = Array.of_list ids in
-      let m = Array.length cols in
-      if m >= t.p then None
-      else begin
-        let g =
-          Matrix.init m m (fun a b ->
-              Matrix.get t.gram cols.(a) cols.(b)
-              +. if a = b then jitter else 0.)
-        in
-        let rhs = Array.map (fun j -> t.hy.(j)) cols in
-        match Cholesky.decompose g with
-        | exception Cholesky.Not_positive_definite -> None
-        | chol ->
-            let w = Cholesky.solve chol rhs in
-            let explained = ref 0. in
-            for a = 0 to m - 1 do
-              explained := !explained +. (w.(a) *. rhs.(a))
-            done;
-            let rss = Float.max 0. (t.yty -. !explained) in
-            Some (rss /. float_of_int t.p)
-      end
+let incremental t = t.ils
 
-let score t ~criterion ids =
-  match sigma2 t ids with
+let score_factor t fac ~criterion =
+  match Ils.sigma2 fac with
   | None -> infinity
   | Some s2 ->
-      Criteria.score criterion ~p:t.p ~m:(List.length ids) ~sigma2:s2
+      Criteria.score criterion ~p:(Ils.p t.ils) ~m:(Ils.size fac) ~sigma2:s2
+
+let sigma2 t cols =
+  match cols with
+  | [] -> None
+  | _ -> if Ils.set t.scratch cols then Ils.sigma2 t.scratch else None
+
+let score t ~criterion cols =
+  match sigma2 t cols with
+  | None -> infinity
+  | Some s2 ->
+      Criteria.score criterion ~p:(Ils.p t.ils) ~m:(List.length cols)
+        ~sigma2:s2

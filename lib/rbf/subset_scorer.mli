@@ -3,10 +3,11 @@
     The tree-ordered selection evaluates thousands of subsets that differ
     by one to three columns.  Refitting each by QR costs O(p m^2) per
     subset; instead this scorer precomputes the Gram matrix [G = H'H], the
-    moment vector [H'y] and [y'y] once, after which any subset's residual
-    sum of squares follows from an m-by-m Cholesky solve:
-
-    {v RSS(S) = y'y - w' (H'y)_S  where  G_SS w = (H'y)_S v}
+    moment vector [H'y] and [y'y] once
+    (see {!Archpred_linalg.Incremental_ls}), after which any subset's
+    residual sum of squares follows from an m-by-m Cholesky solve — and
+    subsets reached by pushing/popping columns on a shared {!factor} cost
+    only O(m^2) per step.
 
     A tiny jitter on the Gram diagonal keeps the solve defined when two
     candidate centers (nearly) coincide. *)
@@ -15,6 +16,15 @@ type t
 
 val create : design:Archpred_linalg.Matrix.t -> responses:float array -> t
 (** Precompute moments of the full p-by-M design matrix. *)
+
+val incremental : t -> Archpred_linalg.Incremental_ls.t
+(** The underlying moments, for callers that walk subsets incrementally
+    (create one factor per domain from this). *)
+
+val score_factor :
+  t -> Archpred_linalg.Incremental_ls.factor -> criterion:Criteria.t -> float
+(** Criterion value of a factor's active subset; [infinity] for the empty
+    set or [m >= p]. *)
 
 val sigma2 : t -> int list -> float option
 (** Maximum-likelihood error variance [RSS / p] of the least-squares fit

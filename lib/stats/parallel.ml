@@ -1,30 +1,192 @@
+let env_domains () =
+  match Sys.getenv_opt "ARCHPRED_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | Some _ | None -> None)
+
 let default_domains () =
-  min 8 (max 1 (Domain.recommended_domain_count ()))
+  match env_domains () with
+  | Some d -> d
+  | None -> min 8 (max 1 (Domain.recommended_domain_count ()))
+
+(* A persistent pool of worker domains.  Spawning a domain costs tens of
+   microseconds and scales poorly when a hot loop (candidate scoring, grid
+   cells, discrepancy rows) issues thousands of small parallel sections, so
+   the workers are created once, on first use, and then sleep on a
+   condition variable between work items.
+
+   The caller of [run] participates: while its own tasks are outstanding it
+   keeps draining the shared queue (executing tasks that may belong to a
+   concurrently submitted call), which also makes nested parallel sections
+   deadlock-free — the innermost section's tasks are always runnable by
+   whoever is waiting on them. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    work : Condition.t;  (* queue gained tasks, or shutdown *)
+    finished : Condition.t;  (* some call's last task completed *)
+    queue : (unit -> unit) Queue.t;
+    mutable shutdown : bool;
+  }
+
+  let worker pool () =
+    let running = ref true in
+    while !running do
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue && not pool.shutdown do
+        Condition.wait pool.work pool.mutex
+      done;
+      match Queue.take_opt pool.queue with
+      | Some task ->
+          Mutex.unlock pool.mutex;
+          task ()
+      | None ->
+          (* Shutdown with an empty queue. *)
+          Mutex.unlock pool.mutex;
+          running := false
+    done
+
+  let instance =
+    lazy
+      (let pool =
+         {
+           mutex = Mutex.create ();
+           work = Condition.create ();
+           finished = Condition.create ();
+           queue = Queue.create ();
+           shutdown = false;
+         }
+       in
+       let workers =
+         List.init
+           (max 0 (default_domains () - 1))
+           (fun _ -> Domain.spawn (worker pool))
+       in
+       if workers <> [] then
+         at_exit (fun () ->
+             Mutex.lock pool.mutex;
+             pool.shutdown <- true;
+             Condition.broadcast pool.work;
+             Mutex.unlock pool.mutex;
+             List.iter Domain.join workers);
+       pool)
+
+  (* Run every task to completion.  Tasks must not raise (callers capture
+     exceptions into per-task slots themselves). *)
+  let run tasks =
+    let pool = Lazy.force instance in
+    let pending = ref (Array.length tasks) in
+    let wrap task () =
+      Fun.protect task ~finally:(fun () ->
+          Mutex.lock pool.mutex;
+          decr pending;
+          if !pending = 0 then Condition.broadcast pool.finished;
+          Mutex.unlock pool.mutex)
+    in
+    Mutex.lock pool.mutex;
+    Array.iter (fun t -> Queue.add (wrap t) pool.queue) tasks;
+    Condition.broadcast pool.work;
+    let rec drain () =
+      if !pending > 0 then
+        match Queue.take_opt pool.queue with
+        | Some task ->
+            Mutex.unlock pool.mutex;
+            task ();
+            Mutex.lock pool.mutex;
+            drain ()
+        | None ->
+            Condition.wait pool.finished pool.mutex;
+            drain ()
+    in
+    drain ();
+    Mutex.unlock pool.mutex
+end
+
+let resolve = function Some d -> max 1 d | None -> default_domains ()
+
+(* Re-raise the first captured exception in task order, so the reported
+   failure does not depend on domain scheduling. *)
+let reraise_first failures =
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    failures
+
+let init ?domains n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  if n = 0 then [||]
+  else
+    let d = min (resolve domains) n in
+    if d = 1 then begin
+      (* Explicit loop: left-to-right evaluation order is part of the
+         contract (unlike [Array.init]'s unspecified order). *)
+      let results = Array.make n (f 0) in
+      for i = 1 to n - 1 do
+        results.(i) <- f i
+      done;
+      results
+    end
+    else begin
+      (* Element 0 is computed before any task is queued: it sizes an
+         unboxed result buffer, instead of an ['a option] per element. *)
+      let results = Array.make n (f 0) in
+      let failure = Array.make d None in
+      (* Strided partition balances work when cost varies along the
+         array; task [t] owns indices congruent to [t] modulo [d]. *)
+      let task t () =
+        try
+          let i = ref (if t = 0 then d else t) in
+          while !i < n do
+            results.(!i) <- f !i;
+            i := !i + d
+          done
+        with e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
+      in
+      Pool.run (Array.init d task);
+      reraise_first failure;
+      results
+    end
 
 let map ?domains f xs =
   let n = Array.length xs in
-  let d = match domains with Some d -> max 1 d | None -> default_domains () in
-  if n < 2 || d = 1 then Array.map f xs
+  if n = 0 then [||] else init ?domains n (fun i -> f xs.(i))
+
+let map_reduce ?domains ~map:m ~combine xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Parallel.map_reduce: empty array";
+  let d = min (resolve domains) n in
+  if d = 1 then begin
+    let acc = ref (m xs.(0)) in
+    for i = 1 to n - 1 do
+      acc := combine !acc (m xs.(i))
+    done;
+    !acc
+  end
   else begin
-    let d = min d n in
-    let results = Array.make n None in
+    (* Contiguous chunks, reduced left-to-right; the [d] partials are then
+       combined in chunk order, so for a fixed domain count the result is
+       independent of scheduling. *)
+    let q = n / d and r = n mod d in
+    let partials = Array.make d None in
     let failure = Array.make d None in
-    (* Strided partition balances work when cost varies along the array. *)
-    let worker w () =
+    let task t () =
       try
-        let i = ref w in
-        while !i < n do
-          results.(!i) <- Some (f xs.(!i));
-          i := !i + d
-        done
-      with e -> failure.(w) <- Some e
+        let lo = (t * q) + min t r in
+        let hi = lo + q + if t < r then 1 else 0 in
+        let acc = ref (m xs.(lo)) in
+        for i = lo + 1 to hi - 1 do
+          acc := combine !acc (m xs.(i))
+        done;
+        partials.(t) <- Some !acc
+      with e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
     in
-    let handles = Array.init d (fun w -> Domain.spawn (worker w)) in
-    Array.iter Domain.join handles;
-    Array.iter (function Some e -> raise e | None -> ()) failure;
-    Array.map
-      (function
-        | Some v -> v
-        | None -> assert false (* every index is covered by some stride *))
-      results
+    Pool.run (Array.init d task);
+    reraise_first failure;
+    let acc = ref (Option.get partials.(0)) in
+    for t = 1 to d - 1 do
+      acc := combine !acc (Option.get partials.(t))
+    done;
+    !acc
   end

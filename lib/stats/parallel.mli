@@ -1,17 +1,47 @@
-(** Parallel map over arrays using OCaml 5 domains.
+(** Parallel array operations over a persistent pool of OCaml 5 domains.
 
-    Model building needs hundreds of independent simulator runs per
-    experiment; each run is pure (its inputs are immutable traces and
-    configurations), so they parallelise trivially across domains. *)
+    Model building needs hundreds of independent simulator runs, candidate
+    scores and grid cells per experiment; each unit is pure (its inputs are
+    immutable traces, samples and configurations), so they parallelise
+    trivially.  The worker domains are spawned once, on first use, and
+    sleep between parallel sections — issuing thousands of small sections
+    costs queueing, not domain spawns.  The caller participates in every
+    section it submits, so nested sections cannot deadlock and a
+    single-domain machine degrades to plain loops. *)
+
+val env_domains : unit -> int option
+(** The [ARCHPRED_DOMAINS] environment variable, when set to a positive
+    integer.  Consulted by {!default_domains}; exposed so executables can
+    report or thread the setting explicitly. *)
 
 val default_domains : unit -> int
-(** Number of domains used when [domains] is not given: the number of
-    recommended domains for this machine, capped at 8. *)
+(** Number of domains used when [domains] is not given: [ARCHPRED_DOMAINS]
+    if set, otherwise the recommended domain count for this machine capped
+    at 8. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f xs] evaluates [f] on every element, splitting the work across
-    domains.  [f] must be safe to run concurrently (no shared mutable
-    state).  Results are in input order.  With [domains <= 1] or on arrays
-    of fewer than two elements, runs sequentially.  If any application
-    raises, the first exception (in scheduling order) is re-raised after
-    all domains join. *)
+    [domains] strided tasks.  [f] must be safe to run concurrently (no
+    shared mutable state).  Results are in input order and independent of
+    the domain count.  With [domains <= 1] the evaluation is a plain
+    left-to-right loop.  If applications raise, the exception re-raised is
+    the first one captured by the lowest-numbered task, independent of
+    scheduling. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [map f [|0; ...; n-1|]] without materialising the index
+    array.  [f 0] is evaluated first, in the calling domain; with
+    [domains <= 1] the remaining indices follow left to right. *)
+
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  'a array ->
+  'b
+(** [map_reduce ~map ~combine xs] folds [combine] over [map x] for every
+    element.  Each task reduces a contiguous chunk left-to-right and the
+    partials are combined in chunk order, so the result is deterministic
+    for a fixed domain count — but, for non-associative operations such as
+    float addition, may differ across domain counts.  Raises
+    [Invalid_argument] on the empty array. *)

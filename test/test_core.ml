@@ -513,6 +513,50 @@ let test_training_deterministic () =
       (Predictor.predict b.Build.predictor p)
   done
 
+let test_tune_domain_invariant () =
+  (* The tuning grid is fanned over the pool; ties keep the earliest cell,
+     so the winner is bit-identical for every domain count. *)
+  let rng = Rng.create 41 in
+  let points, responses = synthetic_sample rng 40 in
+  let run domains =
+    Tune.tune ~p_min_grid:[ 1; 2 ] ~alpha_grid:[ 5.; 9. ] ~domains ~dim:9
+      ~points ~responses ()
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      let r = run d in
+      Alcotest.(check int) "same p_min" base.Tune.p_min r.Tune.p_min;
+      Alcotest.(check (float 0.)) "same alpha" base.Tune.alpha r.Tune.alpha;
+      Alcotest.(check (float 0.)) "same criterion" base.Tune.criterion
+        r.Tune.criterion;
+      Alcotest.(check (list int)) "same centers"
+        base.Tune.selection.Archpred_rbf.Selection.selected_node_ids
+        r.Tune.selection.Archpred_rbf.Selection.selected_node_ids)
+    [ 2; 4; 7 ]
+
+let test_train_domain_invariant () =
+  (* The headline guarantee: every parallel stage of Build.train preserves
+     serial evaluation order, so domains=1 and domains=N give the same
+     predictor bit for bit. *)
+  let response = Response.synthetic_smooth ~dim:9 in
+  let train domains =
+    Build.train ~lhs_candidates:10 ~domains ~rng:(Rng.create 99)
+      ~space:Paper_space.space ~response ~n:40 ()
+  in
+  let a = train 1 and b = train 5 in
+  Alcotest.(check (float 0.)) "same discrepancy" a.Build.discrepancy
+    b.Build.discrepancy;
+  Alcotest.(check (float 0.)) "same criterion" a.Build.criterion
+    b.Build.criterion;
+  let rng = Rng.create 6 in
+  for _ = 1 to 10 do
+    let p = Array.init 9 (fun _ -> Rng.unit_float rng) in
+    Alcotest.(check (float 0.)) "bit identical"
+      (Predictor.predict a.Build.predictor p)
+      (Predictor.predict b.Build.predictor p)
+  done
+
 let test_persist_version_check () =
   let trained = trained_synthetic () in
   let text = Core.Persist.to_string trained.Build.predictor in
@@ -551,6 +595,10 @@ let () =
           Alcotest.test_case "beats linear on cliff" `Quick test_build_beats_linear_on_cliff;
           Alcotest.test_case "early stop" `Quick test_build_to_accuracy_stops_early;
           Alcotest.test_case "exhausts schedule" `Quick test_build_to_accuracy_exhausts_schedule;
+          Alcotest.test_case "tune domain invariant" `Quick
+            test_tune_domain_invariant;
+          Alcotest.test_case "train domain invariant" `Quick
+            test_train_domain_invariant;
         ] );
       ( "predictor",
         [

@@ -244,6 +244,93 @@ let test_discrepancy_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Discrepancy: empty sample")
     (fun () -> ignore (Discrepancy.l2_star [||]))
 
+(* Reference implementations of both closed forms with the pair kernel
+   summed over the full n^2 double loop — no i/j symmetry shortcut.  The
+   production code must agree to fp-reordering noise. *)
+let reference_l2_star points =
+  let n = Array.length points in
+  let d = Array.length points.(0) in
+  let nf = float_of_int n in
+  let term1 = 3. ** float_of_int (-d) in
+  let sum2 = ref 0. in
+  Array.iter
+    (fun x ->
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        prod := !prod *. (1. -. (x.(k) *. x.(k)))
+      done;
+      sum2 := !sum2 +. !prod)
+    points;
+  let term2 = 2. ** float_of_int (1 - d) /. nf *. !sum2 in
+  let pair = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        prod := !prod *. (1. -. Float.max points.(i).(k) points.(j).(k))
+      done;
+      pair := !pair +. !prod
+    done
+  done;
+  sqrt (Float.max 0. (term1 -. term2 +. (!pair /. (nf *. nf))))
+
+let reference_centered_l2 points =
+  let n = Array.length points in
+  let d = Array.length points.(0) in
+  let nf = float_of_int n in
+  let term1 = (13. /. 12.) ** float_of_int d in
+  let z i k = abs_float (points.(i).(k) -. 0.5) in
+  let sum2 = ref 0. in
+  for i = 0 to n - 1 do
+    let prod = ref 1. in
+    for k = 0 to d - 1 do
+      let zk = z i k in
+      prod := !prod *. (1. +. (0.5 *. zk) -. (0.5 *. zk *. zk))
+    done;
+    sum2 := !sum2 +. !prod
+  done;
+  let term2 = 2. /. nf *. !sum2 in
+  let pair = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let prod = ref 1. in
+      for k = 0 to d - 1 do
+        let dij = abs_float (points.(i).(k) -. points.(j).(k)) in
+        prod := !prod *. (1. +. (0.5 *. z i k) +. (0.5 *. z j k) -. (0.5 *. dij))
+      done;
+      pair := !pair +. !prod
+    done
+  done;
+  sqrt (Float.max 0. (term1 -. term2 +. (!pair /. (nf *. nf))))
+
+let test_symmetric_matches_reference () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 10 do
+    let n = 5 + Rng.int rng 40 in
+    let pts = Random_design.sample rng space2 ~n in
+    check_float ~eps:1e-12 "star symmetric = reference"
+      (reference_l2_star pts) (Discrepancy.l2_star pts);
+    check_float ~eps:1e-12 "centered symmetric = reference"
+      (reference_centered_l2 pts)
+      (Discrepancy.centered_l2 pts)
+  done
+
+let test_discrepancy_domain_invariant () =
+  (* Bit-identical, not merely close: the row partials are folded in row
+     order whatever the domain count. *)
+  let rng = Rng.create 20 in
+  let pts = Random_design.sample rng space2 ~n:37 in
+  List.iter
+    (fun kind ->
+      let serial = Discrepancy.compute ~domains:1 kind pts in
+      List.iter
+        (fun d ->
+          let v = Discrepancy.compute ~domains:d kind pts in
+          if v <> serial then
+            Alcotest.failf "domains=%d differs: %.17g vs %.17g" d v serial)
+        [ 2; 3; 4; 7 ])
+    [ Discrepancy.Star; Discrepancy.Centered ]
+
 (* ---------- Optimize ---------- *)
 
 let test_best_lhs_improves () =
@@ -252,6 +339,33 @@ let test_best_lhs_improves () =
   let many = Optimize.best_lhs ~candidates:50 rng2 space2 ~n:20 in
   Alcotest.(check bool) "more candidates not worse" true
     (many.Optimize.discrepancy <= single.Optimize.discrepancy)
+
+let test_best_lhs_domain_invariant () =
+  (* Per-candidate split RNG streams: the winning sample and its score are
+     bit-identical however many domains score the candidates. *)
+  let run domains =
+    let rng = Rng.create 17 in
+    Optimize.best_lhs ~candidates:16 ~domains rng space2 ~n:20
+  in
+  let base = run 1 in
+  List.iter
+    (fun d ->
+      let r = run d in
+      if r.Optimize.discrepancy <> base.Optimize.discrepancy then
+        Alcotest.failf "domains=%d: discrepancy %.17g <> %.17g" d
+          r.Optimize.discrepancy base.Optimize.discrepancy;
+      if r.Optimize.points <> base.Optimize.points then
+        Alcotest.failf "domains=%d: different winning sample" d)
+    [ 2; 3; 5 ]
+
+let test_best_lhs_advances_rng_uniformly () =
+  (* The caller's rng must end in the same state for every domain count:
+     exactly [candidates] splits are drawn from it, nothing else. *)
+  let state rng = Rng.int64 rng in
+  let rng1 = Rng.create 23 and rng4 = Rng.create 23 in
+  ignore (Optimize.best_lhs ~candidates:9 ~domains:1 rng1 space2 ~n:12);
+  ignore (Optimize.best_lhs ~candidates:9 ~domains:4 rng4 space2 ~n:12);
+  Alcotest.(check int64) "same rng state after" (state rng1) (state rng4)
 
 let test_discrepancy_curve_decreases () =
   let rng = Rng.create 14 in
@@ -436,11 +550,19 @@ let () =
           Alcotest.test_case "centered reflection invariant" `Quick test_centered_reflection_invariant;
           Alcotest.test_case "lhs beats clustered" `Quick test_lhs_beats_clustered;
           Alcotest.test_case "empty raises" `Quick test_discrepancy_empty;
+          Alcotest.test_case "symmetric = reference" `Quick
+            test_symmetric_matches_reference;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_discrepancy_domain_invariant;
         ] );
       ( "optimize",
         [
           Alcotest.test_case "best-of-N improves" `Quick test_best_lhs_improves;
           Alcotest.test_case "curve decreases" `Quick test_discrepancy_curve_decreases;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_best_lhs_domain_invariant;
+          Alcotest.test_case "uniform rng advance" `Quick
+            test_best_lhs_advances_rng_uniformly;
         ] );
       ( "grids",
         [

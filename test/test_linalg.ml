@@ -258,6 +258,76 @@ let test_ls_fallback () =
   let f = Least_squares.fit a [| 1.; 2.; 3. |] in
   Alcotest.(check bool) "regularized flagged" true f.Least_squares.regularized
 
+(* ---------- Incremental least squares ---------- *)
+
+module Ils = Archpred_linalg.Incremental_ls
+
+let ils_fixture () =
+  let rng = Rng.create 91 in
+  let design = random_matrix rng 30 8 in
+  let responses = Array.init 30 (fun _ -> Rng.unit_float rng -. 0.5) in
+  (design, responses, Ils.create ~design ~responses ())
+
+let test_ils_matches_full_solve () =
+  let design, responses, ils = ils_fixture () in
+  let fac = Ils.factor ils in
+  let rng = Rng.create 92 in
+  for _ = 1 to 25 do
+    let m = 1 + Rng.int rng 6 in
+    let cols = Array.to_list (Archpred_stats.Sampling.choose rng m 8) in
+    Alcotest.(check bool) "set succeeds" true (Ils.set fac cols);
+    let full =
+      Least_squares.fit
+        (Matrix.select_cols design (Array.of_list cols))
+        responses
+    in
+    let w = Ils.solve fac in
+    Array.iteri
+      (fun k wk ->
+        check_float ~eps:1e-9 "coefficient" full.Least_squares.coefficients.(k)
+          wk)
+      w;
+    check_float ~eps:1e-9 "rss" full.Least_squares.rss (Ils.rss fac);
+    match Ils.sigma2 fac with
+    | None -> Alcotest.fail "sigma2 defined for 0 < m < p"
+    | Some s2 -> check_float ~eps:1e-9 "sigma2" full.Least_squares.sigma2 s2
+  done
+
+let test_ils_push_pop_exact () =
+  (* pop truncates the factor exactly, so push / pop / re-push reproduces
+     bit-identical state. *)
+  let _, _, ils = ils_fixture () in
+  let fac = Ils.factor ils in
+  assert (Ils.set fac [ 0; 3; 5 ]);
+  let rss_base = Ils.rss fac in
+  assert (Ils.push fac 6);
+  let rss_with = Ils.rss fac in
+  Ils.pop fac;
+  if Ils.rss fac <> rss_base then Alcotest.fail "pop not exact";
+  assert (Ils.push fac 6);
+  if Ils.rss fac <> rss_with then Alcotest.fail "re-push not exact";
+  Alcotest.(check (array int)) "ids" [| 0; 3; 5; 6 |] (Ils.ids fac)
+
+let test_ils_dependent_column_rejected () =
+  (* A duplicated column is linearly dependent: the second push must fail
+     and leave the factor unchanged. *)
+  let design = Matrix.init 10 2 (fun i _ -> float_of_int (i + 1)) in
+  let responses = Array.init 10 float_of_int in
+  let ils = Ils.create ~design ~responses () in
+  let fac = Ils.factor ils in
+  Alcotest.(check bool) "first push ok" true (Ils.push fac 0);
+  Alcotest.(check bool) "dependent push rejected" false (Ils.push fac 1);
+  Alcotest.(check int) "factor unchanged" 1 (Ils.size fac)
+
+let test_ils_empty_and_accounting () =
+  let _, _, ils = ils_fixture () in
+  let fac = Ils.factor ils in
+  Alcotest.(check (option (float 0.))) "empty sigma2" None (Ils.sigma2 fac);
+  check_float ~eps:1e-12 "empty rss = y'y" (Ils.yty ils) (Ils.rss fac);
+  assert (Ils.set fac [ 1; 4 ]);
+  check_float ~eps:1e-9 "rss + explained = y'y" (Ils.yty ils)
+    (Ils.rss fac +. Ils.explained fac)
+
 let () =
   Alcotest.run "linalg"
     [
@@ -295,6 +365,16 @@ let () =
           Alcotest.test_case "factor" `Quick test_cholesky_factor;
           Alcotest.test_case "not PD raises" `Quick test_cholesky_not_pd;
           Alcotest.test_case "log det" `Quick test_cholesky_log_det;
+        ] );
+      ( "incremental_ls",
+        [
+          Alcotest.test_case "matches full solve" `Quick
+            test_ils_matches_full_solve;
+          Alcotest.test_case "push/pop exact" `Quick test_ils_push_pop_exact;
+          Alcotest.test_case "dependent column rejected" `Quick
+            test_ils_dependent_column_rejected;
+          Alcotest.test_case "empty set accounting" `Quick
+            test_ils_empty_and_accounting;
         ] );
       ( "qr",
         [

@@ -403,6 +403,73 @@ let test_parallel_exception () =
            (fun x -> if x = 5 then failwith "boom" else x)
            (Array.init 10 Fun.id)))
 
+let test_parallel_empty () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parallel.map ~domains:4 (fun x -> x) [||])
+
+let test_parallel_domain_counts () =
+  let xs = Array.init 97 (fun i -> i - 40) in
+  let f x = (3 * x * x) - (7 * x) + 1 in
+  let expect = Array.map f xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        expect
+        (Parallel.map ~domains:d f xs))
+    [ 1; 2; 4; 7; 200 ]
+
+let test_parallel_init_matches () =
+  let f i = float_of_int i /. 3. in
+  Alcotest.(check (array (float 0.)))
+    "init = Array.init" (Array.init 53 f)
+    (Parallel.init ~domains:4 53 f)
+
+let test_parallel_exception_lowest_task () =
+  (* With 4 strided tasks over indices 0..9, index 3 belongs to task 3 and
+     index 5 to task 1; the lowest-numbered failing task wins whatever the
+     scheduling, so the surfaced exception is always [Failure "5"]. *)
+  for _ = 1 to 20 do
+    Alcotest.check_raises "lowest task's exception" (Failure "5") (fun () ->
+        ignore
+          (Parallel.map ~domains:4
+             (fun x ->
+               if x = 3 || x = 5 then failwith (string_of_int x) else x)
+             (Array.init 10 Fun.id)))
+  done
+
+let test_map_reduce_sum () =
+  let xs = Array.init 101 (fun i -> i) in
+  let expect = Array.fold_left ( + ) 0 xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum domains=%d" d)
+        expect
+        (Parallel.map_reduce ~domains:d ~map:Fun.id ~combine:( + ) xs))
+    [ 1; 3; 8 ]
+
+let test_map_reduce_chunk_order () =
+  (* String concatenation is associative but not commutative: chunk-order
+     combination must preserve the input order. *)
+  let xs = Array.init 26 (fun i -> String.make 1 (Char.chr (65 + i))) in
+  Alcotest.(check string)
+    "in order" "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    (Parallel.map_reduce ~domains:5 ~map:Fun.id ~combine:( ^ ) xs)
+
+let test_map_reduce_empty_raises () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Parallel.map_reduce: empty array") (fun () ->
+      ignore (Parallel.map_reduce ~domains:2 ~map:Fun.id ~combine:( + ) [||]))
+
+let prop_parallel_matches_map =
+  qtest "parallel map = Array.map for any domain count"
+    QCheck2.Gen.(
+      pair (int_range 1 9) (array_size (int_range 0 60) (int_range (-1000) 1000)))
+    (fun (d, xs) ->
+      Parallel.map ~domains:d (fun x -> (2 * x) - 1) xs
+      = Array.map (fun x -> (2 * x) - 1) xs)
+
 let () =
   Alcotest.run "stats"
     [
@@ -489,5 +556,16 @@ let () =
           Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
           Alcotest.test_case "single domain" `Quick test_parallel_single_domain;
           Alcotest.test_case "exception propagation" `Quick test_parallel_exception;
+          Alcotest.test_case "empty array" `Quick test_parallel_empty;
+          Alcotest.test_case "any domain count" `Quick test_parallel_domain_counts;
+          Alcotest.test_case "init matches" `Quick test_parallel_init_matches;
+          Alcotest.test_case "exception from lowest task" `Quick
+            test_parallel_exception_lowest_task;
+          Alcotest.test_case "map_reduce sum" `Quick test_map_reduce_sum;
+          Alcotest.test_case "map_reduce chunk order" `Quick
+            test_map_reduce_chunk_order;
+          Alcotest.test_case "map_reduce empty raises" `Quick
+            test_map_reduce_empty_raises;
+          prop_parallel_matches_map;
         ] );
     ]

@@ -16,6 +16,8 @@
      bench/main.exe table3 fig7     run the named experiments only
      bench/main.exe --micro         run only the micro-benchmarks
      bench/main.exe --paper         run only the paper's tables and figures
+     bench/main.exe --trace         print a span-tree summary after the runs
+     bench/main.exe --metrics FILE  stream observability events as JSON lines
 *)
 
 module Experiments = Archpred_experiments
@@ -254,12 +256,35 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in
+  let trace_flag = List.mem "--trace" args in
+  (* --metrics FILE consumes its argument, so strip both from [ids]. *)
+  let rec metrics_path = function
+    | "--metrics" :: path :: _ -> Some path
+    | _ :: rest -> metrics_path rest
+    | [] -> None
+  in
+  let metrics = metrics_path args in
+  let args =
+    let rec strip = function
+      | "--metrics" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
+  let metrics_oc = Option.map open_out metrics in
+  let obs =
+    match metrics_oc with
+    | Some oc ->
+        Archpred_obs.create ~sink:(Archpred_obs.Sink.jsonl_channel oc) ()
+    | None -> if trace_flag then Archpred_obs.create () else Archpred_obs.null
+  in
   let ppf = Format.std_formatter in
   if not micro_only then begin
-    let ctx = Experiments.Context.create () in
+    let ctx = Experiments.Context.create ~obs () in
     let entries =
       match ids with
       | [] ->
@@ -278,4 +303,8 @@ let () =
     Experiments.Registry.run_all ~entries ctx ppf;
     Format.pp_print_flush ppf ()
   end;
-  if micro_only || ids = [] then run_micro ()
+  if micro_only || ids = [] then run_micro ();
+  Archpred_obs.close obs;
+  Option.iter close_out metrics_oc;
+  if trace_flag then Archpred_obs.report obs ppf;
+  Format.pp_print_flush ppf ()

@@ -6,7 +6,11 @@
      sample       draw a discrepancy-optimised latin hypercube sample
      train        build an RBF CPI model for a benchmark and report accuracy
      search       model-driven search for the best design point
-     reproduce    regenerate the paper's tables and figures *)
+     reproduce    regenerate the paper's tables and figures
+
+   Every subcommand accepts --trace (span-tree timing summary on stdout
+   after the run) and --metrics FILE (stream spans/counters/gauges to FILE
+   as JSON lines). *)
 
 open Cmdliner
 
@@ -16,11 +20,77 @@ module Sim = Archpred_sim
 module Workloads = Archpred_workloads
 module Core = Archpred_core
 module Experiments = Archpred_experiments
+module Obs = Archpred_obs
+
+(* ---------- observability & error plumbing ---------- *)
+
+let trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print a span-tree timing summary (with counters and gauges) \
+           after the run.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Stream observability events (spans, counters, gauges) to FILE \
+           as JSON lines.")
+
+(* Run one subcommand body with an observability handle.  Archpred errors
+   (invalid input, bad environment, I/O, parse, infeasible) print as one
+   line on stderr and map to distinct exit codes (2-6); cmdliner keeps
+   124/125 for itself. *)
+let with_obs ~trace ~metrics f =
+  let oc =
+    match metrics with
+    | None -> None
+    | Some path -> (
+        match open_out path with
+        | oc -> Some oc
+        | exception Sys_error msg ->
+            let e = Obs.Error.Io_error { path; what = msg } in
+            Format.eprintf "archpred: %s@." (Obs.Error.to_string e);
+            exit (Obs.Error.exit_code e))
+  in
+  let obs =
+    match oc with
+    | Some oc -> Obs.create ~sink:(Obs.Sink.jsonl_channel oc) ()
+    | None -> if trace then Obs.create () else Obs.null
+  in
+  let finish () =
+    Obs.close obs;
+    Option.iter close_out oc;
+    if trace then Obs.report obs Format.std_formatter
+  in
+  match f obs with
+  | v ->
+      finish ();
+      v
+  | exception Obs.Error.Archpred e ->
+      Obs.close obs;
+      Option.iter close_out oc;
+      Format.eprintf "archpred: %s@." (Obs.Error.to_string e);
+      exit (Obs.Error.exit_code e)
 
 (* Parallelism for every training stage: the ARCHPRED_DOMAINS environment
    variable overrides the machine default.  Trained models are identical
-   for every value (see Stats.Parallel); only wall-clock changes. *)
-let env_domains = Stats.Parallel.env_domains ()
+   for every value (see Stats.Parallel); only wall-clock changes.  Parsing
+   is strict, so it must run inside [with_obs] to map a bad value to the
+   Invalid_env exit code. *)
+let env_domains () = Stats.Parallel.env_domains ()
+
+let base_config ?(obs = Obs.null) ~seed () =
+  let c =
+    Core.Config.default |> Core.Config.with_seed seed |> Core.Config.with_obs obs
+  in
+  match env_domains () with
+  | None -> c
+  | Some d -> Core.Config.with_domains d c
 
 (* ---------- shared arguments ---------- *)
 
@@ -64,7 +134,8 @@ let sample_size_t =
 (* ---------- benchmarks ---------- *)
 
 let benchmarks_cmd =
-  let run () =
+  let run trace metrics =
+    with_obs ~trace ~metrics @@ fun _obs ->
     Format.printf "the paper's eight benchmarks:@.";
     List.iter
       (fun (p : Workloads.Profile.t) ->
@@ -77,7 +148,7 @@ let benchmarks_cmd =
       Workloads.Spec2000_extra.all
   in
   Cmd.v (Cmd.info "benchmarks" ~doc:"List available benchmark workloads")
-    Term.(const run $ const ())
+    Term.(const run $ trace_t $ metrics_t)
 
 (* ---------- simulate ---------- *)
 
@@ -85,14 +156,23 @@ let simulate_cmd =
   let nine name default doc =
     Arg.(value & opt int default & info [ name ] ~docv:"V" ~doc)
   in
-  let run bench trace_length seed pipe rob iq lsq l2s l2l il1 dl1 dl1l =
-    let trace = Workloads.Generator.generate ~seed bench ~length:trace_length in
+  let run bench trace_length seed pipe rob iq lsq l2s l2l il1 dl1 dl1l trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let trace_ =
+      Workloads.Generator.generate ~seed bench ~length:trace_length
+    in
     let cfg =
       Sim.Config.make ~pipe_depth:pipe ~rob_size:rob ~iq_size:iq ~lsq_size:lsq
         ~l2_size:l2s ~l2_latency:l2l ~il1_size:il1 ~dl1_size:dl1
         ~dl1_latency:dl1l ()
     in
-    let result = Sim.Processor.run cfg trace in
+    let result =
+      Obs.with_span obs "simulate.run" @@ fun () ->
+      Obs.incr obs "sim.runs";
+      Obs.count obs "sim.instructions" trace_length;
+      Sim.Processor.run cfg trace_
+    in
     Format.printf "%a@.@.%a@." Sim.Config.pp cfg Sim.Processor.pp_result result
   in
   Cmd.v
@@ -107,7 +187,8 @@ let simulate_cmd =
       $ nine "l2-lat" 12 "L2 hit latency."
       $ nine "il1-size" (32 * 1024) "L1I capacity in bytes."
       $ nine "dl1-size" (32 * 1024) "L1D capacity in bytes."
-      $ nine "dl1-lat" 2 "L1D hit latency.")
+      $ nine "dl1-lat" 2 "L1D hit latency."
+      $ trace_t $ metrics_t)
 
 (* ---------- sample ---------- *)
 
@@ -118,10 +199,13 @@ let sample_cmd =
       & info [ "candidates" ] ~docv:"N"
           ~doc:"Latin hypercube candidates scored by discrepancy.")
   in
-  let run n candidates seed =
+  let run n candidates seed trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let domains = env_domains () in
     let rng = Stats.Rng.create seed in
     let result =
-      Design.Optimize.best_lhs ~candidates rng Core.Paper_space.space ~n
+      Design.Optimize.best_lhs ~obs ~candidates ?domains rng
+        Core.Paper_space.space ~n
     in
     Format.printf "best-of-%d LHS, n=%d, L2-star discrepancy %.5f@.@."
       candidates n result.Design.Optimize.discrepancy;
@@ -134,7 +218,8 @@ let sample_cmd =
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw a space-filling sample of the design space")
-    Term.(const run $ sample_size_t $ candidates_t $ seed_t)
+    Term.(const run $ sample_size_t $ candidates_t $ seed_t $ trace_t
+          $ metrics_t)
 
 (* ---------- train ---------- *)
 
@@ -181,13 +266,23 @@ let train_cmd =
       & info [ "sizes" ] ~docv:"N,N,..."
           ~doc:"Sample-size schedule used with --target-error.")
   in
-  let run bench n trace_length seed test_n metric save target sizes =
+  let run bench n trace_length seed test_n metric save target sizes trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
     let rng = Stats.Rng.create seed in
     let response =
-      Core.Response.simulator_metric ~trace_length ~seed ~metric bench
+      Core.Response.simulator_metric ~obs ~trace_length ~seed ~metric bench
     in
     let test = Core.Paper_space.test_points rng ~n:test_n in
-    let actual = Core.Response.evaluate_many ?domains:env_domains response test in
+    let actual =
+      Core.Response.evaluate_many ?domains:(env_domains ()) response test
+    in
+    let config =
+      base_config ~obs ~seed ()
+      |> Core.Config.with_rng rng
+      |> Core.Config.with_sample_size n
+      |> Core.Config.with_trace_length trace_length
+    in
     let t0 = Unix.gettimeofday () in
     let trained =
       match target with
@@ -195,16 +290,14 @@ let train_cmd =
           Format.printf "training RBF %s model for %s (n=%d, trace=%d)...@."
             (Core.Response.metric_to_string metric)
             bench.Workloads.Profile.name n trace_length;
-          Core.Build.train ?domains:env_domains ~rng
-            ~space:Core.Paper_space.space ~response ~n ()
+          Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
       | Some target_mean_pct ->
           Format.printf
             "building to %.1f%% mean error for %s (schedule %s)...@."
             target_mean_pct bench.Workloads.Profile.name
             (String.concat "," (List.map string_of_int sizes));
           let history =
-            Core.Build.build_to_accuracy ?domains:env_domains ~rng
-              ~space:Core.Paper_space.space
+            Core.Build.build_to_accuracy ~config ~space:Core.Paper_space.space
               ~response ~sizes ~test_points:test ~test_responses:actual
               ~target_mean_pct ()
           in
@@ -237,7 +330,7 @@ let train_cmd =
        ~doc:"Train an RBF performance model and report its accuracy")
     Term.(
       const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ test_n_t
-      $ metric_t $ save_t $ target_t $ sizes_t)
+      $ metric_t $ save_t $ target_t $ sizes_t $ trace_t $ metrics_t)
 
 (* ---------- predict ---------- *)
 
@@ -257,12 +350,20 @@ let predict_cmd =
             "Comma-separated natural parameter values in dimension order: \
              pipe_depth,ROB,IQ_ratio,LSQ_ratio,L2_size,L2_lat,il1,dl1,dl1_lat.")
   in
-  let run model point =
-    let predictor = Core.Persist.load model in
+  let run model point trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let predictor =
+      Obs.with_span obs "predict.load" @@ fun () -> Core.Persist.load model
+    in
     let values =
       String.split_on_char ',' point
       |> List.map String.trim
-      |> List.map float_of_string
+      |> List.map (fun w ->
+             match float_of_string_opt w with
+             | Some v -> v
+             | None ->
+                 Obs.Error.invalid_input ~where:"predict"
+                   (Printf.sprintf "bad value %S" w))
       |> Array.of_list
     in
     let predicted = Core.Predictor.predict_natural predictor values in
@@ -271,20 +372,26 @@ let predict_cmd =
   Cmd.v
     (Cmd.info "predict"
        ~doc:"Predict the response at a configuration using a saved model")
-    Term.(const run $ model_t $ point_t)
+    Term.(const run $ model_t $ point_t $ trace_t $ metrics_t)
 
 (* ---------- search ---------- *)
 
 let search_cmd =
-  let run bench n trace_length seed =
+  let run bench n trace_length seed trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
     let rng = Stats.Rng.create seed in
-    let response = Core.Response.simulator ~trace_length ~seed bench in
+    let response = Core.Response.simulator ~obs ~trace_length ~seed bench in
+    let config =
+      base_config ~obs ~seed ()
+      |> Core.Config.with_rng rng
+      |> Core.Config.with_sample_size n
+      |> Core.Config.with_trace_length trace_length
+    in
     let trained =
-      Core.Build.train ?domains:env_domains ~rng ~space:Core.Paper_space.space
-        ~response ~n ()
+      Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
     in
     let result =
-      Core.Search.minimize ~rng ~predictor:trained.Core.Build.predictor ()
+      Core.Search.minimize ~config ~predictor:trained.Core.Build.predictor ()
     in
     let simulated = response.Core.Response.eval result.Core.Search.point in
     Format.printf "best point (%d model evaluations):@.  %a@."
@@ -297,19 +404,27 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Find the design point with the lowest predicted CPI")
-    Term.(const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t)
+    Term.(
+      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ trace_t
+      $ metrics_t)
 
 (* ---------- sensitivity ---------- *)
 
 let sensitivity_cmd =
-  let run bench n trace_length seed metric =
+  let run bench n trace_length seed metric trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
     let rng = Stats.Rng.create seed in
     let response =
-      Core.Response.simulator_metric ~trace_length ~seed ~metric bench
+      Core.Response.simulator_metric ~obs ~trace_length ~seed ~metric bench
+    in
+    let config =
+      base_config ~obs ~seed ()
+      |> Core.Config.with_rng rng
+      |> Core.Config.with_sample_size n
+      |> Core.Config.with_trace_length trace_length
     in
     let trained =
-      Core.Build.train ?domains:env_domains ~rng ~space:Core.Paper_space.space
-        ~response ~n ()
+      Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
     in
     let predictor = trained.Core.Build.predictor in
     Format.printf "parameter significance for %s (%s), from a %d-simulation model@.@."
@@ -337,7 +452,8 @@ let sensitivity_cmd =
     (Cmd.info "sensitivity"
        ~doc:"Rank parameter significance using a trained model")
     Term.(
-      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ metric_t)
+      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ metric_t
+      $ trace_t $ metrics_t)
 
 (* ---------- reproduce ---------- *)
 
@@ -364,8 +480,9 @@ let reproduce_cmd =
           ~doc:"Experiment scale (small, medium, full); overrides \
                 ARCHPRED_SCALE.")
   in
-  let run ids scale seed =
-    let ctx = Experiments.Context.create ~seed ?scale () in
+  let run ids scale seed trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let ctx = Experiments.Context.create ~seed ?scale ~obs () in
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -374,7 +491,9 @@ let reproduce_cmd =
             (fun id ->
               match Experiments.Registry.find id with
               | Some e -> e
-              | None -> failwith ("unknown experiment id: " ^ id))
+              | None ->
+                  Obs.Error.invalid_input ~where:"reproduce"
+                    ("unknown experiment id: " ^ id))
             ids
     in
     Experiments.Registry.run_all ~entries ctx Format.std_formatter
@@ -382,7 +501,7 @@ let reproduce_cmd =
   Cmd.v
     (Cmd.info "reproduce"
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md)")
-    Term.(const run $ ids_t $ scale_t $ seed_t)
+    Term.(const run $ ids_t $ scale_t $ seed_t $ trace_t $ metrics_t)
 
 let () =
   let doc = "predictive performance models for superscalar processors" in

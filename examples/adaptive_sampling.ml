@@ -32,7 +32,14 @@ let () =
 
   Printf.printf "\none-shot LHS at the same budget (%d simulations)...\n%!"
     budget;
-  let one_shot = Core.Build.train ~rng ~space ~response ~n:budget () in
+  let one_shot =
+    let config =
+      Core.Config.default
+      |> Core.Config.with_rng rng
+      |> Core.Config.with_sample_size budget
+    in
+    Core.Build.train ~config ~space ~response ()
+  in
 
   let test = Core.Paper_space.test_points rng ~n:30 in
   let actual = Core.Response.evaluate_many response test in

@@ -26,15 +26,27 @@ let within_budget point =
   l2 + il1 + dl1 <= area_budget_bytes && int_of_float v.(1) <= rob_budget
 
 let () =
-  let rng = Stats.Rng.create 7 in
   let benchmark = Workloads.Spec2000.mcf in
-  let response = Core.Response.simulator ~trace_length:40_000 benchmark in
 
+  (* Collect span timings and counters in-process; the report at the end
+     shows where the time went (sampling, simulation, tuning, search). *)
+  let obs = Archpred_obs.create () in
+  let response =
+    Core.Response.simulator ~obs ~trace_length:40_000 benchmark
+  in
+
+  let config =
+    Core.Config.default
+    |> Core.Config.with_seed 7
+    |> Core.Config.with_sample_size 90
+    |> Core.Config.with_trace_length 40_000
+    |> Core.Config.with_obs obs
+  in
   Printf.printf "training model for %s on 90 simulations...\n%!"
     benchmark.Workloads.Profile.name;
   let t0 = Unix.gettimeofday () in
   let trained =
-    Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n:90 ()
+    Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
   in
   Printf.printf "trained in %.1fs\n\n%!" (Unix.gettimeofday () -. t0);
 
@@ -42,7 +54,7 @@ let () =
     (area_budget_bytes / 1024) rob_budget;
   let t0 = Unix.gettimeofday () in
   let result =
-    Core.Search.minimize ~constraint_:within_budget ~rng
+    Core.Search.minimize ~config ~constraint_:within_budget
       ~predictor:trained.Core.Build.predictor ()
   in
   Printf.printf "searched %d candidate designs in %.2fs\n"
@@ -67,11 +79,16 @@ let () =
         | Some (_, c) when c <= cpi -> ()
         | Some _ | None -> best_sampled := Some (p, cpi))
     trained.Core.Build.sample;
-  match !best_sampled with
+  (match !best_sampled with
   | Some (_, cpi) ->
       Printf.printf
         "best feasible point among the 90 training simulations: CPI %.4f\n"
         cpi;
       Printf.printf "model-driven search %s it.\n"
         (if simulated < cpi then "beats" else "matches")
-  | None -> Printf.printf "no training point fit the budget.\n"
+  | None -> Printf.printf "no training point fit the budget.\n");
+
+  (* Where did the time go?  Span-tree summary plus counters. *)
+  Archpred_obs.close obs;
+  print_newline ();
+  Archpred_obs.report obs Format.std_formatter

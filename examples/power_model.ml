@@ -22,8 +22,13 @@ let () =
   Printf.printf "training CPI and EPI models for %s (70 simulations each)...\n%!"
     benchmark.Workloads.Profile.name;
   let space = Core.Paper_space.space in
-  let cpi_model = Core.Build.train ~rng ~space ~response:cpi_response ~n:70 () in
-  let epi_model = Core.Build.train ~rng ~space ~response:epi_response ~n:70 () in
+  let config =
+    Core.Config.default
+    |> Core.Config.with_rng rng
+    |> Core.Config.with_sample_size 70
+  in
+  let cpi_model = Core.Build.train ~config ~space ~response:cpi_response () in
+  let epi_model = Core.Build.train ~config ~space ~response:epi_response () in
 
   (* Validate both models. *)
   let test = Core.Paper_space.test_points rng ~n:20 in

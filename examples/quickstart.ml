@@ -14,20 +14,35 @@
 module Stats = Archpred_stats
 module Core = Archpred_core
 module Workloads = Archpred_workloads
+module Obs = Archpred_obs
 
 let () =
-  let rng = Stats.Rng.create 42 in
   let benchmark = Workloads.Spec2000.twolf in
+
+  (* Observability: stream structured metrics to quickstart_metrics.jsonl
+     and keep an in-process handle for the span-tree report at the end. *)
+  let metrics = open_out "quickstart_metrics.jsonl" in
+  let obs = Obs.create ~sink:(Obs.Sink.jsonl_channel metrics) () in
 
   (* The response: CPI of a synthetic twolf-like trace, simulated at any
      point of the design space.  Results are memoised. *)
-  let response = Core.Response.simulator ~trace_length:40_000 benchmark in
+  let response =
+    Core.Response.simulator ~obs ~trace_length:40_000 benchmark
+  in
 
-  (* Train on 70 simulations. *)
+  (* Train on 70 simulations.  All knobs live in one Config.t record;
+     start from the defaults and override what you need. *)
+  let config =
+    Core.Config.default
+    |> Core.Config.with_seed 42
+    |> Core.Config.with_sample_size 70
+    |> Core.Config.with_trace_length 40_000
+    |> Core.Config.with_obs obs
+  in
   Printf.printf "training a CPI model for %s on 70 simulations...\n%!"
     benchmark.Workloads.Profile.name;
   let trained =
-    Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n:70 ()
+    Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
   in
   let predictor = trained.Core.Build.predictor in
   Printf.printf "model: %d RBF centers, p_min=%d, alpha=%.0f\n"
@@ -35,7 +50,7 @@ let () =
     predictor.Core.Predictor.p_min predictor.Core.Predictor.alpha;
 
   (* Validate on 20 independent random configurations. *)
-  let test = Core.Paper_space.test_points rng ~n:20 in
+  let test = Core.Paper_space.test_points (Stats.Rng.create 43) ~n:20 in
   let actual = Core.Response.evaluate_many response test in
   let err = Core.Predictor.errors_on predictor ~points:test ~actual in
   Printf.printf "test error: mean %.2f%%, max %.2f%%\n\n" err.mean_pct
@@ -55,4 +70,10 @@ let () =
   Printf.printf
     "12-deep, 96-entry ROB, 4MB L2 @ 9 cycles, 32KB L1s @ 2 cycles:\n";
   Printf.printf "  predicted CPI %.4f   simulated CPI %.4f\n" predicted
-    simulated
+    simulated;
+
+  (* Flush the metrics stream and print the span-tree timing summary. *)
+  Obs.close obs;
+  close_out metrics;
+  Printf.printf "\nmetrics written to quickstart_metrics.jsonl\n";
+  Obs.report obs Format.std_formatter

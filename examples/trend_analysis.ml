@@ -24,8 +24,13 @@ let () =
   let response = Core.Response.simulator ~trace_length:40_000 benchmark in
   Printf.printf "training model for %s on 80 simulations...\n%!"
     benchmark.Workloads.Profile.name;
+  let config =
+    Core.Config.default
+    |> Core.Config.with_rng rng
+    |> Core.Config.with_sample_size 80
+  in
   let trained =
-    Core.Build.train ~rng ~space:Core.Paper_space.space ~response ~n:80 ()
+    Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
   in
   let space = Core.Paper_space.space in
   let dim_il1 = Design.Space.index_of space "il1_size" in

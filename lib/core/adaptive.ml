@@ -39,9 +39,11 @@ let acquisition ~points ~residuals c =
 
 let run ?(initial = 30) ?(batch = 15) ?(rounds = 4) ?(pool = 500) ~rng ~space
     ~response () =
-  if initial < 10 then invalid_arg "Adaptive.run: initial < 10";
+  if initial < 10 then
+    Archpred_obs.Error.invalid_input ~where:"Adaptive.run" "initial < 10";
   if batch < 1 || rounds < 0 || pool < batch then
-    invalid_arg "Adaptive.run: bad batch/rounds/pool";
+    Archpred_obs.Error.invalid_input ~where:"Adaptive.run"
+      "bad batch/rounds/pool";
   let dim = Design.Space.dimension space in
   let plan = Design.Optimize.best_lhs ~candidates:50 rng space ~n:initial in
   let points = ref (Array.copy plan.Design.Optimize.points) in

@@ -1,5 +1,7 @@
 module Design = Archpred_design
 module Stats = Archpred_stats
+module Obs = Archpred_obs
+module Config = Config
 
 type trained = {
   predictor : Predictor.t;
@@ -10,19 +12,28 @@ type trained = {
   tune : Tune.result;
 }
 
-let train ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100) ?domains
-    ~rng ~space ~response ~n () =
+let train ?(config = Config.default) ~space ~response () =
+  let config = Config.validate config in
+  let { Config.domains; lhs_candidates; obs; sample_size = n; _ } = config in
+  let rng = Config.rng_of config in
+  Obs.with_span obs "build.train" @@ fun () ->
   let plan =
-    Design.Optimize.best_lhs ~kind:Design.Discrepancy.Star
+    Obs.with_span obs "build.sample" @@ fun () ->
+    Design.Optimize.best_lhs ~obs ~kind:Design.Discrepancy.Star
       ~candidates:lhs_candidates ?domains rng space ~n
   in
   let sample = plan.Design.Optimize.points in
-  let sample_responses = Response.evaluate_many ?domains response sample in
-  let tune =
-    Tune.tune ?criterion ?p_min_grid ?alpha_grid ?domains
-      ~dim:(Design.Space.dimension space) ~points:sample
-      ~responses:sample_responses ()
+  let sample_responses =
+    Obs.with_span obs "build.simulate" @@ fun () ->
+    Response.evaluate_many ?domains response sample
   in
+  let tune =
+    Tune.tune ~config
+      ~dim:(Design.Space.dimension space)
+      ~points:sample ~responses:sample_responses ()
+  in
+  Obs.gauge obs "pool.queue_depth"
+    (float_of_int (Stats.Parallel.queue_depth ()));
   let predictor =
     {
       Predictor.space;
@@ -41,6 +52,27 @@ let train ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100) ?domains
     tune;
   }
 
+let config_of_args ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100)
+    ?domains ~rng () =
+  let config = { Config.default with rng = Some rng; lhs_candidates; domains } in
+  let config =
+    match criterion with None -> config | Some c -> { config with criterion = c }
+  in
+  let config =
+    match p_min_grid with
+    | None -> config
+    | Some g -> { config with p_min_grid = g }
+  in
+  match alpha_grid with None -> config | Some g -> { config with alpha_grid = g }
+
+let train_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains ~rng
+    ~space ~response ~n () =
+  let config =
+    config_of_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
+      ~rng ()
+  in
+  train ~config:{ config with Config.sample_size = n } ~space ~response ()
+
 type step = {
   size : int;
   trained : trained;
@@ -49,10 +81,14 @@ type step = {
 
 type history = { steps : step list; final : step }
 
-let build_to_accuracy ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
-    ?domains ~rng ~space ~response ~sizes ~test_points ~test_responses
-    ~target_mean_pct () =
-  if sizes = [] then invalid_arg "Build.build_to_accuracy: empty schedule";
+let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
+    ~test_points ~test_responses ~target_mean_pct () =
+  if sizes = [] then
+    Obs.Error.invalid_input ~where:"Build.build_to_accuracy"
+      "empty size schedule";
+  (* All sizes share one generator stream (resolved once), matching the
+     pre-Config behaviour of threading a single stateful rng through. *)
+  let config = Config.with_rng (Config.rng_of config) config in
   let sizes = List.sort_uniq compare sizes in
   let rec go acc = function
     | [] ->
@@ -60,8 +96,7 @@ let build_to_accuracy ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
         { steps; final = List.hd acc }
     | n :: rest ->
         let trained =
-          train ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
-            ~rng ~space ~response ~n ()
+          train ~config:(Config.with_sample_size n config) ~space ~response ()
         in
         let test_error =
           Predictor.errors_on trained.predictor ~points:test_points
@@ -73,3 +108,13 @@ let build_to_accuracy ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
         else go (step :: acc) rest
   in
   go [] sizes
+
+let build_to_accuracy_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
+    ?domains ~rng ~space ~response ~sizes ~test_points ~test_responses
+    ~target_mean_pct () =
+  let config =
+    config_of_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
+      ~rng ()
+  in
+  build_to_accuracy ~config ~space ~response ~sizes ~test_points
+    ~test_responses ~target_mean_pct ()

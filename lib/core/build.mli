@@ -6,7 +6,13 @@
     {!build_to_accuracy} is the full iterative procedure (steps 2–6):
     train at increasing sample sizes, estimating accuracy after each on an
     independent random test set, until the target accuracy is reached or
-    the size schedule is exhausted. *)
+    the size schedule is exhausted.
+
+    Both are configured by a {!Config.t} record (re-exported here as
+    [Build.Config]); the [*_args] wrappers keep the pre-record spellings
+    alive for one release. *)
+
+module Config = Config
 
 type trained = {
   predictor : Predictor.t;
@@ -18,6 +24,23 @@ type trained = {
 }
 
 val train :
+  ?config:Config.t ->
+  space:Archpred_design.Space.t ->
+  response:Response.t ->
+  unit ->
+  trained
+(** Train a model on a [config.sample_size]-point sample of [space].
+    [config.lhs_candidates] latin hypercube samples are scored by L2-star
+    discrepancy and the best is simulated.  [config.domains] reaches every
+    parallel stage — candidate scoring, simulation, and the tuning grid —
+    and the trained predictor is identical for every value of it, and for
+    any observability sink.  Records the ["build.train"] span with
+    ["build.sample"], ["build.simulate"] and (via {!Tune.tune})
+    ["build.tune"] stages on [config.obs], and samples the
+    ["pool.queue_depth"] gauge.  Raises [Archpred (Invalid_input _)] on an
+    invalid configuration ({!Config.validate}). *)
+
+val train_args :
   ?criterion:Archpred_rbf.Criteria.t ->
   ?p_min_grid:int list ->
   ?alpha_grid:float list ->
@@ -29,11 +52,9 @@ val train :
   n:int ->
   unit ->
   trained
-(** Train a model on an [n]-point sample of [space].  [lhs_candidates]
-    (default 100) latin hypercube samples are scored by L2-star
-    discrepancy and the best is simulated.  [domains] reaches every
-    parallel stage — candidate scoring, simulation, and the tuning grid —
-    and the trained predictor is identical for every value of it. *)
+[@@ocaml.deprecated
+  "use Build.train with a Config.t (Config.default |> Config.with_* ...)"]
+(** Pre-[Config] spelling of {!train}, kept for one release. *)
 
 type step = {
   size : int;
@@ -47,6 +68,22 @@ type history = {
 }
 
 val build_to_accuracy :
+  ?config:Config.t ->
+  space:Archpred_design.Space.t ->
+  response:Response.t ->
+  sizes:int list ->
+  test_points:Archpred_design.Space.point array ->
+  test_responses:float array ->
+  target_mean_pct:float ->
+  unit ->
+  history
+(** Run the procedure over the ascending [sizes] schedule
+    ([config.sample_size] is ignored), stopping early once the mean test
+    error falls at or below [target_mean_pct] percent.  Every size draws
+    from one shared generator stream resolved once from [config].  Raises
+    [Archpred (Invalid_input _)] on an empty size schedule. *)
+
+val build_to_accuracy_args :
   ?criterion:Archpred_rbf.Criteria.t ->
   ?p_min_grid:int list ->
   ?alpha_grid:float list ->
@@ -61,6 +98,7 @@ val build_to_accuracy :
   target_mean_pct:float ->
   unit ->
   history
-(** Run the procedure over the ascending [sizes] schedule, stopping early
-    once the mean test error falls at or below [target_mean_pct] percent.
-    Raises [Invalid_argument] on an empty size schedule. *)
+[@@ocaml.deprecated
+  "use Build.build_to_accuracy with a Config.t (Config.default |> \
+   Config.with_* ...)"]
+(** Pre-[Config] spelling of {!build_to_accuracy}, kept for one release. *)

@@ -10,12 +10,10 @@ type result = {
 
 let k_fold ?(k = 5) ~rng ~train ~points ~responses () =
   let n = Array.length points in
-  if n < k then invalid_arg "Crossval.k_fold: fewer points than folds";
-  if Array.length responses <> n then
-    invalid_arg "Crossval.k_fold: points/responses mismatch";
-  Array.iter
-    (fun y -> if y = 0. then invalid_arg "Crossval.k_fold: zero response")
-    responses;
+  let reject what = Archpred_obs.Error.invalid_input ~where:"Crossval.k_fold" what in
+  if n < k then reject "fewer points than folds";
+  if Array.length responses <> n then reject "points/responses mismatch";
+  Array.iter (fun y -> if y = 0. then reject "zero response") responses;
   let order = Sampling.permutation rng n in
   let fold_of = Array.make n 0 in
   Array.iteri (fun rank i -> fold_of.(i) <- rank mod k) order;

@@ -27,8 +27,8 @@ val k_fold :
     (default 5) folds; for each fold, [train] fits on the remaining points
     and predicts the held-out ones.  [train ~points ~responses] returns the
     prediction function of a model fitted to that subsample.  Raises
-    [Invalid_argument] if the sample has fewer than [k] points or
-    responses contain zeros (percentage errors are undefined). *)
+    [Archpred (Invalid_input _)] if the sample has fewer than [k] points
+    or responses contain zeros (percentage errors are undefined). *)
 
 val rbf_trainer :
   ?p_min:int ->

@@ -1,0 +1,1 @@
+include Archpred_obs.Error

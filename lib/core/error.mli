@@ -1,0 +1,12 @@
+(** The library's unified error type, re-exported from
+    [Archpred_obs.Error] (it lives at the bottom of the dependency graph
+    so every layer can raise it).
+
+    Entry points across [lib/core] and [lib/design] raise
+    [Archpred of t] for invalid requests instead of ad-hoc [Failure] /
+    [Invalid_argument] payloads; executables catch it once, print
+    {!to_string} and exit with {!exit_code}. *)
+
+include module type of struct
+  include Archpred_obs.Error
+end

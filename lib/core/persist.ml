@@ -42,10 +42,12 @@ let to_string (p : Predictor.t) =
   Buffer.contents buf
 
 let save p path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string p))
+  match open_out path with
+  | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (to_string p))
 
 exception Parse of int * string
 
@@ -135,10 +137,12 @@ let of_string text =
     Array.iter Network.check_center network.Network.centers;
     { Predictor.space; network; tree = None; p_min; alpha }
   with Parse (line, msg) ->
-    failwith (Printf.sprintf "Persist.of_string: line %d: %s" line msg)
+    Archpred_obs.Error.parse_error ~where:"Persist.of_string" ~line msg
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+  match open_in path with
+  | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (In_channel.input_all ic))

@@ -19,12 +19,15 @@
     ([Predictor.tree = None]). *)
 
 val save : Predictor.t -> string -> unit
-(** [save predictor path] writes the model. Raises [Sys_error] on I/O
-    failure. *)
+(** [save predictor path] writes the model.  Raises
+    [Archpred (Io_error _)] when the file cannot be created. *)
 
 val load : string -> Predictor.t
-(** Read a model back.  Raises [Failure] with a line-numbered message on a
-    malformed file and [Sys_error] on I/O failure. *)
+(** Read a model back.  Raises [Archpred (Parse_error _)] with a
+    line-numbered message on a malformed file and [Archpred (Io_error _)]
+    when the file cannot be opened. *)
 
 val to_string : Predictor.t -> string
+
 val of_string : string -> Predictor.t
+(** Raises [Archpred (Parse_error _)] on malformed input. *)

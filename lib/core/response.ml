@@ -39,12 +39,17 @@ let metric_to_string = function
   | Energy_per_instruction -> "epi"
   | Energy_delay_product -> "edp"
 
-let simulator_metric ?(trace_length = 100_000) ?(seed = 42) ~metric
-    (profile : Archpred_workloads.Profile.t) =
+let simulator_metric ?(obs = Archpred_obs.null) ?(trace_length = 100_000)
+    ?(seed = 42) ~metric (profile : Archpred_workloads.Profile.t) =
   let trace =
     Archpred_workloads.Generator.generate ~seed profile ~length:trace_length
   in
   let raw p =
+    (* Counted on cache misses only — memoised hits re-run nothing.  This
+       runs on whichever domain evaluates the point; the obs counters are
+       per-domain buffers, so no synchronisation happens here. *)
+    Archpred_obs.incr obs "sim.runs";
+    Archpred_obs.count obs "sim.instructions" trace_length;
     let result = Archpred_sim.Processor.run (Paper_space.to_config p) trace in
     match metric with
     | Cpi -> result.Archpred_sim.Processor.cpi
@@ -57,8 +62,8 @@ let simulator_metric ?(trace_length = 100_000) ?(seed = 42) ~metric
   in
   memoized (profile.name ^ ":" ^ metric_to_string metric) raw
 
-let simulator ?trace_length ?seed profile =
-  simulator_metric ?trace_length ?seed ~metric:Cpi profile
+let simulator ?obs ?trace_length ?seed profile =
+  simulator_metric ?obs ?trace_length ?seed ~metric:Cpi profile
 
 let evaluate_many ?domains t points = Parallel.map ?domains t.eval points
 

@@ -12,6 +12,7 @@ type t = {
 }
 
 val simulator :
+  ?obs:Archpred_obs.t ->
   ?trace_length:int ->
   ?seed:int ->
   Archpred_workloads.Profile.t ->
@@ -19,7 +20,9 @@ val simulator :
 (** CPI of the benchmark's synthetic trace, simulated at the decoded
     configuration of each design point.  The trace is generated once
     (default 100_000 instructions) and reused at every design point, as a
-    trace-driven simulator would.  Results are memoised per point. *)
+    trace-driven simulator would.  Results are memoised per point; each
+    cache miss bumps the ["sim.runs"] and ["sim.instructions"] counters on
+    [obs] (domain-safe — evaluation happens on worker domains). *)
 
 type metric = Cpi | Energy_per_instruction | Energy_delay_product
 (** Simulated response metrics.  The paper's conclusion points at power as
@@ -29,6 +32,7 @@ type metric = Cpi | Energy_per_instruction | Energy_delay_product
 val metric_to_string : metric -> string
 
 val simulator_metric :
+  ?obs:Archpred_obs.t ->
   ?trace_length:int ->
   ?seed:int ->
   metric:metric ->

@@ -1,5 +1,6 @@
 module Design = Archpred_design
 module Rng = Archpred_stats.Rng
+module Obs = Archpred_obs
 
 type result = {
   point : Design.Space.point;
@@ -7,8 +8,11 @@ type result = {
   evaluations : int;
 }
 
-let minimize ?(scan = 2000) ?(refine_iters = 50) ?constraint_ ~rng ~predictor
-    () =
+let minimize ?(config = Config.default) ?(scan = 2000) ?(refine_iters = 50)
+    ?constraint_ ~predictor () =
+  let rng = Config.rng_of config in
+  let obs = config.Config.obs in
+  Obs.with_span obs "search.minimize" @@ fun () ->
   let space = predictor.Predictor.space in
   let dim = Design.Space.dimension space in
   let feasible p = match constraint_ with None -> true | Some f -> f p in
@@ -28,7 +32,10 @@ let minimize ?(scan = 2000) ?(refine_iters = 50) ?constraint_ ~rng ~predictor
     end
   done;
   match !best with
-  | None -> invalid_arg "Search.minimize: no feasible point found in scan"
+  | None ->
+      Obs.count obs "search.evaluations" !evals;
+      Obs.Error.infeasible ~where:"Search.minimize"
+        "no feasible point found in scan"
   | Some (p0, v0) ->
       let point = Array.copy p0 in
       let best_v = ref v0 in
@@ -51,4 +58,10 @@ let minimize ?(scan = 2000) ?(refine_iters = 50) ?constraint_ ~rng ~predictor
         done;
         step := !step *. 0.7
       done;
+      Obs.count obs "search.evaluations" !evals;
       { point; predicted = !best_v; evaluations = !evals }
+
+let minimize_args ?scan ?refine_iters ?constraint_ ~rng ~predictor () =
+  minimize
+    ~config:(Config.with_rng rng Config.default)
+    ?scan ?refine_iters ?constraint_ ~predictor ()

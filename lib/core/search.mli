@@ -14,6 +14,22 @@ type result = {
 }
 
 val minimize :
+  ?config:Config.t ->
+  ?scan:int ->
+  ?refine_iters:int ->
+  ?constraint_:(Archpred_design.Space.point -> bool) ->
+  predictor:Predictor.t ->
+  unit ->
+  result
+(** Find the design point with the lowest predicted response: [scan]
+    (default 2000) random feasible points, then [refine_iters] (default 50)
+    rounds of per-dimension refinement around the incumbent.  The random
+    scan draws from [config]'s generator ({!Config.rng_of}); the
+    ["search.minimize"] span and ["search.evaluations"] counter go to
+    [config.obs].  Raises [Archpred (Infeasible _)] if no scanned point
+    satisfies the constraint. *)
+
+val minimize_args :
   ?scan:int ->
   ?refine_iters:int ->
   ?constraint_:(Archpred_design.Space.point -> bool) ->
@@ -21,8 +37,6 @@ val minimize :
   predictor:Predictor.t ->
   unit ->
   result
-(** Find the design point with the lowest predicted response: [scan]
-    (default 2000) random feasible points, then [refine_iters] (default 50)
-    rounds of per-dimension golden-section-style refinement around the
-    incumbent.  Raises [Invalid_argument] if no scanned point satisfies
-    the constraint. *)
+[@@ocaml.deprecated
+  "use Search.minimize with a Config.t (Config.with_rng rng Config.default)"]
+(** Pre-[Config] spelling of {!minimize}, kept for one release. *)

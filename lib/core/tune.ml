@@ -1,6 +1,7 @@
 module Tree = Archpred_regtree.Tree
 module Rbf = Archpred_rbf
 module Parallel = Archpred_stats.Parallel
+module Obs = Archpred_obs
 
 type result = {
   p_min : int;
@@ -10,19 +11,20 @@ type result = {
   selection : Rbf.Selection.result;
 }
 
-let default_p_min_grid = [ 1; 2; 3 ]
-let default_alpha_grid = [ 3.; 5.; 7.; 9.; 12. ]
+let default_p_min_grid = Config.default_p_min_grid
+let default_alpha_grid = Config.default_alpha_grid
 
-let tune ?(criterion = Rbf.Criteria.Aicc) ?(p_min_grid = default_p_min_grid)
-    ?(alpha_grid = default_alpha_grid) ?domains ~dim ~points ~responses () =
+let tune ?(config = Config.default) ~dim ~points ~responses () =
+  let { Config.criterion; p_min_grid; alpha_grid; domains; obs; _ } = config in
   if p_min_grid = [] || alpha_grid = [] then
-    invalid_arg "Tune.tune: empty grid";
+    Obs.Error.invalid_input ~where:"Tune.tune" "empty grid";
+  Obs.with_span obs "build.tune" @@ fun () ->
   (* One tree per p_min, built once and shared read-only by every alpha
      cell of its row. *)
   let p_mins = Array.of_list p_min_grid in
   let trees =
     Parallel.map ?domains
-      (fun p_min -> Tree.build ~p_min ~dim ~points ~responses ())
+      (fun p_min -> Tree.build ~obs ~p_min ~dim ~points ~responses ())
       p_mins
   in
   (* Fan the full p_min x alpha grid over the pool.  Cells are listed in
@@ -38,13 +40,14 @@ let tune ?(criterion = Rbf.Criteria.Aicc) ?(p_min_grid = default_p_min_grid)
              (List.map (fun alpha -> (p_mins.(i), trees.(i), alpha)) alpha_grid))
          (List.init (Array.length p_mins) Fun.id))
   in
+  Obs.count obs "tune.cells" (Array.length cells);
   let results =
     Parallel.map ?domains
       (fun (p_min, tree, alpha) ->
         let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
         let selection =
-          Rbf.Selection.select ~criterion ~tree ~candidates ~points ~responses
-            ()
+          Rbf.Selection.select ~obs ~criterion ~tree ~candidates ~points
+            ~responses ()
         in
         {
           p_min;
@@ -60,3 +63,11 @@ let tune ?(criterion = Rbf.Criteria.Aicc) ?(p_min_grid = default_p_min_grid)
     if results.(i).criterion < !best.criterion then best := results.(i)
   done;
   !best
+
+let tune_args ?(criterion = Rbf.Criteria.Aicc)
+    ?(p_min_grid = default_p_min_grid) ?(alpha_grid = default_alpha_grid)
+    ?domains ~dim ~points ~responses () =
+  let config =
+    { Config.default with criterion; p_min_grid; alpha_grid; domains }
+  in
+  tune ~config ~dim ~points ~responses ()

@@ -14,13 +14,28 @@ type result = {
 }
 
 val default_p_min_grid : int list
-(** [\[1; 2; 3\]] — Table 4 finds the best value is 1 or 2. *)
+(** [Config.default_p_min_grid]. *)
 
 val default_alpha_grid : float list
-(** [\[3.; 5.; 7.; 9.; 12.\]] — the paper reports best radii of 5–12 times
-    the region size. *)
+(** [Config.default_alpha_grid]. *)
 
 val tune :
+  ?config:Config.t ->
+  dim:int ->
+  points:float array array ->
+  responses:float array ->
+  unit ->
+  result
+(** Build a tree per [p_min] (once, shared by its alpha row), fan the
+    [p_min] x [alpha] cells over the domain pool, and return the
+    combination minimising the criterion.  Ties keep the earliest grid
+    cell, so the result is identical for every domain count.  Reads
+    [criterion], the grids, [domains] and [obs] from [config] (default
+    {!Config.default}); records the ["build.tune"] span and the
+    ["tune.cells"] counter, and threads [obs] into tree growth and center
+    selection.  Raises [Archpred (Invalid_input _)] on an empty grid. *)
+
+val tune_args :
   ?criterion:Archpred_rbf.Criteria.t ->
   ?p_min_grid:int list ->
   ?alpha_grid:float list ->
@@ -30,7 +45,6 @@ val tune :
   responses:float array ->
   unit ->
   result
-(** Build a tree per [p_min] (once, shared by its alpha row), fan the
-    [p_min] x [alpha] cells over the domain pool, and return the
-    combination minimising the criterion.  Ties keep the earliest grid
-    cell, so the result is identical for every [domains] value. *)
+[@@ocaml.deprecated
+  "use Tune.tune with a Config.t (Config.default |> Config.with_* ...)"]
+(** Pre-[Config] spelling of {!tune}, kept for one release. *)

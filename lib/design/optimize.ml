@@ -1,5 +1,6 @@
 module Rng = Archpred_stats.Rng
 module Parallel = Archpred_stats.Parallel
+module Obs = Archpred_obs
 
 type result = {
   points : Space.point array;
@@ -7,9 +8,12 @@ type result = {
   candidates : int;
 }
 
-let best_lhs ?(kind = Discrepancy.Star) ?(candidates = 100) ?domains rng space
-    ~n =
-  if candidates < 1 then invalid_arg "Optimize.best_lhs: candidates < 1";
+let best_lhs ?(obs = Obs.null) ?(kind = Discrepancy.Star) ?(candidates = 100)
+    ?domains rng space ~n =
+  if candidates < 1 then
+    Obs.Error.invalid_input ~where:"Optimize.best_lhs" "candidates < 1";
+  Obs.with_span obs "design.best_lhs" @@ fun () ->
+  Obs.count obs "lhs.candidates" candidates;
   (* One split per candidate, drawn sequentially from the caller's rng:
      each candidate owns an independent stream fixed by the seed alone, so
      scoring them on any number of domains returns the same bits (and
@@ -34,9 +38,9 @@ let best_lhs ?(kind = Discrepancy.Star) ?(candidates = 100) ?domains rng space
   let points, discrepancy = scored.(!best) in
   { points; discrepancy; candidates }
 
-let discrepancy_curve ?kind ?candidates ?domains rng space ~sizes =
+let discrepancy_curve ?obs ?kind ?candidates ?domains rng space ~sizes =
   List.map
     (fun n ->
-      let r = best_lhs ?kind ?candidates ?domains rng space ~n in
+      let r = best_lhs ?obs ?kind ?candidates ?domains rng space ~n in
       (n, r.discrepancy))
     sizes

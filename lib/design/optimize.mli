@@ -17,6 +17,7 @@ type result = {
 }
 
 val best_lhs :
+  ?obs:Archpred_obs.t ->
   ?kind:Discrepancy.kind ->
   ?candidates:int ->
   ?domains:int ->
@@ -27,9 +28,12 @@ val best_lhs :
 (** [best_lhs rng space ~n] draws [candidates] (default 100) latin
     hypercube samples of size [n] and keeps the one with the lowest
     discrepancy (default {!Discrepancy.Star}).  Advances [rng] by exactly
-    [candidates] splits; ties keep the earliest candidate. *)
+    [candidates] splits; ties keep the earliest candidate.  Records the
+    ["design.best_lhs"] span and ["lhs.candidates"] counter on [obs].
+    Raises [Archpred (Invalid_input _)] when [candidates < 1]. *)
 
 val discrepancy_curve :
+  ?obs:Archpred_obs.t ->
   ?kind:Discrepancy.kind ->
   ?candidates:int ->
   ?domains:int ->

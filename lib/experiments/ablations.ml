@@ -10,8 +10,14 @@ let profile = Archpred_workloads.Spec2000.mcf
 let train_on_sample ?criterion ctx points =
   let response = Context.response ctx profile in
   let responses = Core.Response.evaluate_many response points in
+  let config =
+    let base = Core.Config.with_obs (Context.obs ctx) Core.Config.default in
+    match criterion with
+    | None -> base
+    | Some c -> Core.Config.with_criterion c base
+  in
   let tune =
-    Core.Tune.tune ?criterion ~dim:Core.Paper_space.dim ~points ~responses ()
+    Core.Tune.tune ~config ~dim:Core.Paper_space.dim ~points ~responses ()
   in
   ( {
       Core.Predictor.space = Core.Paper_space.space;
@@ -160,8 +166,9 @@ let criterion ctx ppf =
       let response = Context.response ctx profile in
       let responses = Core.Response.evaluate_many response points in
       let tune =
-        Core.Tune.tune ~criterion:crit ~dim:Core.Paper_space.dim ~points
-          ~responses ()
+        Core.Tune.tune
+          ~config:(Core.Config.with_criterion crit Core.Config.default)
+          ~dim:Core.Paper_space.dim ~points ~responses ()
       in
       let predictor =
         {

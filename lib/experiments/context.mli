@@ -8,11 +8,21 @@
 
 type t
 
-val create : ?seed:int -> ?scale:Scale.t -> unit -> t
-(** Default scale comes from {!Scale.of_env}. *)
+val create : ?seed:int -> ?scale:Scale.t -> ?obs:Archpred_obs.t -> unit -> t
+(** Default scale comes from {!Scale.of_env}; [obs] (default
+    {!Archpred_obs.null}) is threaded through every response and training
+    call made via this context. *)
 
 val scale : t -> Scale.t
 val seed : t -> int
+
+val obs : t -> Archpred_obs.t
+(** The context's observability handle. *)
+
+val config : t -> n:int -> Archpred_core.Config.t
+(** The scale-appropriate training configuration for an [n]-point sample:
+    a fresh rng split, the context's LHS-candidate count, trace length and
+    observability handle. *)
 
 val rng : t -> Archpred_stats.Rng.t
 (** A fresh, independent stream split from the context's root seed. *)

@@ -59,14 +59,14 @@ let power ctx ppf =
   List.iter
     (fun (profile : Workloads.Profile.t) ->
       let response =
-        Core.Response.simulator_metric ~trace_length ~seed:(Context.seed ctx)
+        Core.Response.simulator_metric ~obs:(Context.obs ctx) ~trace_length
+          ~seed:(Context.seed ctx)
           ~metric:Core.Response.Energy_per_instruction profile
       in
-      let rng = Context.rng ctx in
       let trained =
         Core.Build.train
-          ~lhs_candidates:(Scale.lhs_candidates (Context.scale ctx))
-          ~rng ~space:Core.Paper_space.space ~response ~n ()
+          ~config:(Context.config ctx ~n)
+          ~space:Core.Paper_space.space ~response ()
       in
       let points, _ = Context.test_set ctx profile in
       let actual = Core.Response.evaluate_many response points in
@@ -146,9 +146,8 @@ let adaptive ctx ppf =
   in
   let one_shot =
     Core.Build.train
-      ~lhs_candidates:(Scale.lhs_candidates (Context.scale ctx))
-      ~rng:(Context.rng ctx) ~space:Core.Paper_space.space ~response ~n:budget
-      ()
+      ~config:(Context.config ctx ~n:budget)
+      ~space:Core.Paper_space.space ~response ()
   in
   let lhs_err =
     Core.Predictor.errors_on one_shot.Core.Build.predictor ~points ~actual

@@ -41,6 +41,11 @@ type factor = {
   l : float array; (* lower-triangular Cholesky rows, stride n_cols *)
   z : float array; (* z = L^-1 (H'y)_S, kept in step with l *)
   mutable m : int;
+  (* Lifetime work counters for observability: every push attempt pays the
+     forward substitution whether or not it is accepted, so attempts are
+     what gets counted.  [reset] does not clear them. *)
+  mutable pushes : int;
+  mutable pops : int;
 }
 
 let factor ls =
@@ -51,13 +56,18 @@ let factor ls =
     l = Array.make (n * n) 0.;
     z = Array.make n 0.;
     m = 0;
+    pushes = 0;
+    pops = 0;
   }
 
 let size f = f.m
 let ids f = Array.sub f.ids 0 f.m
 let reset f = f.m <- 0
+let pushes f = f.pushes
+let pops f = f.pops
 
 let push f j =
+  f.pushes <- f.pushes + 1;
   let ls = f.ls in
   let n = ls.n_cols in
   if j < 0 || j >= n then invalid_arg "Incremental_ls.push: bad column";
@@ -101,6 +111,7 @@ let pop f =
   if f.m = 0 then invalid_arg "Incremental_ls.pop: empty factor";
   (* L is lower-triangular: dropping the last row and column is exact
      truncation, no refactorisation. *)
+  f.pops <- f.pops + 1;
   f.m <- f.m - 1
 
 let set f cols =

@@ -51,7 +51,15 @@ val ids : factor -> int array
 (** Active columns, in push order. *)
 
 val reset : factor -> unit
-(** Drop every column (O(1)). *)
+(** Drop every column (O(1)).  Does not clear {!pushes}/{!pops}. *)
+
+val pushes : factor -> int
+(** Lifetime count of {!push} attempts (accepted or rejected — either way
+    the forward substitution was paid).  Callers report these to the
+    observability layer; this module stays free of that dependency. *)
+
+val pops : factor -> int
+(** Lifetime count of {!pop} calls. *)
 
 val push : factor -> int -> bool
 (** [push f j] appends column [j].  Returns [false] — leaving the factor

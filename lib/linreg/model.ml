@@ -39,9 +39,11 @@ let aic ~p ~m ~sigma2 =
   if sigma2 <= 0. then neg_infinity
   else (float_of_int p *. log sigma2) +. (2. *. float_of_int m)
 
-let stepwise ?(criterion = aic) ~points ~responses () =
+let stepwise ?(obs = Archpred_obs.null) ?(criterion = aic) ~points ~responses
+    () =
   let p = Array.length points in
   if p = 0 then invalid_arg "Model.stepwise: empty sample";
+  Archpred_obs.with_span obs "linreg.stepwise" @@ fun () ->
   let dim = Array.length points.(0) in
   let pool = Term.full_set ~dim in
   let all_terms = Array.of_list pool in
@@ -131,6 +133,8 @@ let stepwise ?(criterion = aic) ~points ~responses () =
     (criterion ~p ~m:(List.length cols) ~sigma2:model.sigma2, model)
   in
   let start_crit, start_model = final_fit start in
+  Archpred_obs.count obs "ils.pushes" (Ils.pushes fac);
+  Archpred_obs.count obs "ils.pops" (Ils.pops fac);
   if !current = start then start_model
   else
     let final_crit, final_model = final_fit !current in

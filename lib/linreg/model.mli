@@ -25,6 +25,7 @@ val fit :
     [Invalid_argument] for an empty term list or mismatched data. *)
 
 val stepwise :
+  ?obs:Archpred_obs.t ->
   ?criterion:(p:int -> m:int -> sigma2:float -> float) ->
   points:float array array ->
   responses:float array ->
@@ -34,7 +35,8 @@ val stepwise :
     effects; candidate moves add one interaction / main effect not in the
     model or drop one non-intercept term; the move that most lowers the
     criterion is taken until no move improves it.  The default criterion
-    is AIC, [p * log sigma2 + 2 m]. *)
+    is AIC, [p * log sigma2 + 2 m].  Records the ["linreg.stepwise"] span
+    and ["ils.pushes"]/["ils.pops"] counters on [obs]. *)
 
 val aic : p:int -> m:int -> sigma2:float -> float
 val pp : ?names:string array -> Format.formatter -> t -> unit

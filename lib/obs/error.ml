@@ -1,0 +1,35 @@
+type t =
+  | Invalid_input of { where : string; what : string }
+  | Invalid_env of { var : string; what : string }
+  | Io_error of { path : string; what : string }
+  | Parse_error of { where : string; line : int; what : string }
+  | Infeasible of { where : string; what : string }
+
+exception Archpred of t
+
+let to_string = function
+  | Invalid_input { where; what } -> Printf.sprintf "%s: %s" where what
+  | Invalid_env { var; what } -> Printf.sprintf "environment %s: %s" var what
+  | Io_error { path; what } -> Printf.sprintf "%s: %s" path what
+  | Parse_error { where; line; what } ->
+      Printf.sprintf "%s: line %d: %s" where line what
+  | Infeasible { where; what } -> Printf.sprintf "%s: %s" where what
+
+let exit_code = function
+  | Invalid_input _ -> 2
+  | Invalid_env _ -> 3
+  | Io_error _ -> 4
+  | Parse_error _ -> 5
+  | Infeasible _ -> 6
+
+let invalid_input ~where what = raise (Archpred (Invalid_input { where; what }))
+let invalid_env ~var what = raise (Archpred (Invalid_env { var; what }))
+let io_error ~path what = raise (Archpred (Io_error { path; what }))
+
+let parse_error ~where ~line what =
+  raise (Archpred (Parse_error { where; line; what }))
+
+let infeasible ~where what = raise (Archpred (Infeasible { where; what }))
+
+let guard f =
+  match f () with v -> Ok v | exception Archpred e -> Result.Error e

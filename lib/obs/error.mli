@@ -1,0 +1,43 @@
+(** The single error type raised by library entry points.
+
+    Entry points across [archpred.core] and [archpred.design] report
+    recoverable failures — bad API inputs, malformed environment
+    variables, unreadable model files, infeasible searches — through one
+    variant, so that executables can render a clear message and exit with
+    a stable, class-specific code instead of pattern-matching on
+    [Failure]/[Invalid_argument] strings.  The type lives in this base
+    library (every other archpred library depends on it) and is
+    re-exported as [Archpred_core.Error]. *)
+
+type t =
+  | Invalid_input of { where : string; what : string }
+      (** A caller-supplied argument is unusable (empty grid, bad size). *)
+  | Invalid_env of { var : string; what : string }
+      (** An environment variable is set to a value that cannot be used. *)
+  | Io_error of { path : string; what : string }
+      (** A file could not be read or written. *)
+  | Parse_error of { where : string; line : int; what : string }
+      (** Persistent data (e.g. a saved model) failed to parse. *)
+  | Infeasible of { where : string; what : string }
+      (** A well-posed request has no answer (e.g. constrained search
+          found no feasible point). *)
+
+exception Archpred of t
+(** The one exception entry points raise for recoverable errors. *)
+
+val to_string : t -> string
+(** Human-readable, single-line rendering. *)
+
+val exit_code : t -> int
+(** Stable process exit code per error class: invalid input 2, bad
+    environment 3, I/O 4, parse 5, infeasible 6.  (1 stays generic, and
+    cmdliner owns 124/125.) *)
+
+val invalid_input : where:string -> string -> 'a
+val invalid_env : var:string -> string -> 'a
+val io_error : path:string -> string -> 'a
+val parse_error : where:string -> line:int -> string -> 'a
+val infeasible : where:string -> string -> 'a
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run [f], capturing {!Archpred} as [Error]. *)

@@ -1,0 +1,90 @@
+type event =
+  | Span of { path : string list; ns : int64 }
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+let emit t event = t.emit event
+let flush t = t.flush ()
+let silent = { emit = ignore; flush = ignore }
+
+let path_string path = String.concat "/" path
+
+let json_of_event = function
+  | Span { path; ns } ->
+      Json.Obj
+        [
+          ("type", Json.String "span");
+          ("path", Json.String (path_string path));
+          ("ns", Json.Int (Int64.to_int ns));
+        ]
+  | Counter { name; value } ->
+      Json.Obj
+        [
+          ("type", Json.String "counter");
+          ("name", Json.String name);
+          ("value", Json.Int value);
+        ]
+  | Gauge { name; value } ->
+      Json.Obj
+        [
+          ("type", Json.String "gauge");
+          ("name", Json.String name);
+          ("value", Json.Float value);
+        ]
+
+let jsonl write =
+  { emit = (fun e -> write (Json.to_string (json_of_event e))); flush = ignore }
+
+let jsonl_channel oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (Json.to_string (json_of_event e));
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+  }
+
+let human ppf =
+  {
+    emit =
+      (fun e ->
+        match e with
+        | Span { path; ns } ->
+            Format.fprintf ppf "[span]    %-40s %10.3f ms@."
+              (path_string path)
+              (Int64.to_float ns /. 1e6)
+        | Counter { name; value } ->
+            Format.fprintf ppf "[counter] %-40s %10d@." name value
+        | Gauge { name; value } ->
+            Format.fprintf ppf "[gauge]   %-40s %10g@." name value);
+    flush = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let tee sinks =
+  {
+    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+  }
+
+let memory () =
+  let events = ref [] in
+  let lock = Mutex.create () in
+  let sink =
+    {
+      emit =
+        (fun e ->
+          Mutex.lock lock;
+          events := e :: !events;
+          Mutex.unlock lock);
+      flush = ignore;
+    }
+  in
+  let contents () =
+    Mutex.lock lock;
+    let es = List.rev !events in
+    Mutex.unlock lock;
+    es
+  in
+  (sink, contents)

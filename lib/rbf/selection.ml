@@ -2,6 +2,7 @@ module Tree = Archpred_regtree.Tree
 module Matrix = Archpred_linalg.Matrix
 module Least_squares = Archpred_linalg.Least_squares
 module Ils = Archpred_linalg.Incremental_ls
+module Obs = Archpred_obs
 
 type result = {
   network : Network.t;
@@ -30,11 +31,13 @@ let evaluate_subset ~criterion ~design ~responses cols =
       Criteria.score criterion ~p:(Array.length responses)
         ~m:(List.length cols) ~sigma2:f.Least_squares.sigma2
 
-let select ?(criterion = Criteria.Aicc) ~tree ~candidates ~points ~responses () =
+let select ?(obs = Obs.null) ?(criterion = Criteria.Aicc) ~tree ~candidates
+    ~points ~responses () =
   let p = Array.length points in
   if p <> Array.length responses then
     invalid_arg "Selection.select: points/responses mismatch";
   if p = 0 then invalid_arg "Selection.select: empty sample";
+  Obs.with_span obs "rbf.select" @@ fun () ->
   (* Full design matrix over every candidate, computed once; subsets are
      scored through precomputed Gram moments. *)
   let all_centers = Array.map (fun c -> c.Tree_centers.center) candidates in
@@ -69,6 +72,7 @@ let select ?(criterion = Criteria.Aicc) ~tree ~candidates ~points ~responses () 
         Array.iteri (fun k id -> selected.(id) <- saved.(k)) trio;
         let base_ok = Ils.set fac base in
         let score_combo combo =
+          Obs.incr obs "rbf.centers_tried";
           if base_ok then begin
             let pushed = ref 0 in
             let ok = ref true in
@@ -131,6 +135,9 @@ let select ?(criterion = Criteria.Aicc) ~tree ~candidates ~points ~responses () 
   let ids = current_ids () in
   let centers = Array.of_list (List.map (fun i -> all_centers.(i)) ids) in
   let network, diag = Network.fit ~centers ~points ~responses () in
+  Obs.count obs "rbf.centers_kept" (List.length ids);
+  Obs.count obs "ils.pushes" (Ils.pushes fac);
+  Obs.count obs "ils.pops" (Ils.pops fac);
   {
     network;
     selected_node_ids = ids;
@@ -140,12 +147,13 @@ let select ?(criterion = Criteria.Aicc) ~tree ~candidates ~points ~responses () 
     sigma2 = diag.Network.sigma2;
   }
 
-let select_forward ?(criterion = Criteria.Aicc) ?max_centers ~candidates
-    ~points ~responses () =
+let select_forward ?(obs = Obs.null) ?(criterion = Criteria.Aicc) ?max_centers
+    ~candidates ~points ~responses () =
   let p = Array.length points in
   if p <> Array.length responses then
     invalid_arg "Selection.select_forward: points/responses mismatch";
   if p = 0 then invalid_arg "Selection.select_forward: empty sample";
+  Obs.with_span obs "rbf.select_forward" @@ fun () ->
   let all_centers = Array.map (fun c -> c.Tree_centers.center) candidates in
   let design = Network.design_matrix all_centers points in
   let scorer = Subset_scorer.create ~design ~responses in
@@ -163,6 +171,7 @@ let select_forward ?(criterion = Criteria.Aicc) ?max_centers ~candidates
       Array.iteri
         (fun j _ ->
           if not (List.mem j !chosen) then begin
+            Obs.incr obs "rbf.centers_tried";
             let sc =
               if Ils.push fac j then begin
                 let sc = Subset_scorer.score_factor scorer fac ~criterion in
@@ -187,6 +196,9 @@ let select_forward ?(criterion = Criteria.Aicc) ?max_centers ~candidates
   let ids = if ids = [] then [ 0 ] else ids in
   let centers = Array.of_list (List.map (fun i -> all_centers.(i)) ids) in
   let network, diag = Network.fit ~centers ~points ~responses () in
+  Obs.count obs "rbf.centers_kept" (List.length ids);
+  Obs.count obs "ils.pushes" (Ils.pushes fac);
+  Obs.count obs "ils.pops" (Ils.pops fac);
   {
     network;
     selected_node_ids = ids;

@@ -28,6 +28,7 @@ val evaluate_subset :
     Exposed for tests and for the center-selection ablation bench. *)
 
 val select :
+  ?obs:Archpred_obs.t ->
   ?criterion:Criteria.t ->
   tree:Archpred_regtree.Tree.t ->
   candidates:Tree_centers.candidate array ->
@@ -35,10 +36,14 @@ val select :
   responses:float array ->
   unit ->
   result
-(** Run the tree-ordered selection and fit the final network.  Raises
-    [Invalid_argument] on dimension mismatches. *)
+(** Run the tree-ordered selection and fit the final network.  Records the
+    ["rbf.select"] span plus ["rbf.centers_tried"] (combination scorings),
+    ["rbf.centers_kept"], and ["ils.pushes"]/["ils.pops"] (Cholesky factor
+    work) counters on [obs].  Raises [Invalid_argument] on dimension
+    mismatches. *)
 
 val select_forward :
+  ?obs:Archpred_obs.t ->
   ?criterion:Criteria.t ->
   ?max_centers:int ->
   candidates:Tree_centers.candidate array ->

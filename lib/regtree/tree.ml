@@ -69,7 +69,7 @@ let best_split ~dim ~points ~responses indices =
   done;
   !best
 
-let build ?(p_min = 1) ~dim ~points ~responses () =
+let build ?(obs = Archpred_obs.null) ?(p_min = 1) ~dim ~points ~responses () =
   if p_min < 1 then invalid_arg "Tree.build: p_min < 1";
   let n = Array.length points in
   if n = 0 then invalid_arg "Tree.build: empty sample";
@@ -79,6 +79,7 @@ let build ?(p_min = 1) ~dim ~points ~responses () =
     (fun x ->
       if Array.length x <> dim then invalid_arg "Tree.build: arity mismatch")
     points;
+  Archpred_obs.with_span obs "tree.build" @@ fun () ->
   let next_id = ref 0 in
   let make_node ~depth ~lo ~hi indices =
     let mean, sse = stats_of responses indices in
@@ -140,6 +141,7 @@ let build ?(p_min = 1) ~dim ~points ~responses () =
         expand ()
   in
   expand ();
+  Archpred_obs.count obs "tree.nodes" !next_id;
   { root; p_min; node_count = !next_id }
 
 let root t = t.root

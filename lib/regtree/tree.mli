@@ -39,6 +39,7 @@ and split = {
 type t
 
 val build :
+  ?obs:Archpred_obs.t ->
   ?p_min:int ->
   dim:int ->
   points:float array array ->
@@ -47,7 +48,8 @@ val build :
   t
 (** [build ~dim ~points ~responses ()] grows a tree on sample points in
     [\[0,1\]^dim].  [p_min] (default 1) is the method parameter of section
-    2.4: leaves with at most [p_min] points are not split.  Raises
+    2.4: leaves with at most [p_min] points are not split.  Records the
+    ["tree.build"] span and ["tree.nodes"] counter on [obs].  Raises
     [Invalid_argument] on empty input, mismatched lengths, or points of the
     wrong arity. *)
 

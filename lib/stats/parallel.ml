@@ -4,7 +4,12 @@ let env_domains () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some d when d >= 1 -> Some d
-      | Some _ | None -> None)
+      | Some _ ->
+          Archpred_obs.Error.invalid_env ~var:"ARCHPRED_DOMAINS"
+            (Printf.sprintf "must be a positive integer, got %S" s)
+      | None ->
+          Archpred_obs.Error.invalid_env ~var:"ARCHPRED_DOMAINS"
+            (Printf.sprintf "not an integer: %S" s))
 
 let default_domains () =
   match env_domains () with
@@ -105,6 +110,19 @@ module Pool = struct
 end
 
 let resolve = function Some d -> max 1 d | None -> default_domains ()
+
+(* Observability probe.  Checking [Lazy.is_val] first matters: forcing the
+   lazy would spawn the worker domains just to report that their queue is
+   empty. *)
+let queue_depth () =
+  if not (Lazy.is_val Pool.instance) then 0
+  else begin
+    let pool = Lazy.force Pool.instance in
+    Mutex.lock pool.Pool.mutex;
+    let d = Queue.length pool.Pool.queue in
+    Mutex.unlock pool.Pool.mutex;
+    d
+  end
 
 (* Re-raise the first captured exception in task order, so the reported
    failure does not depend on domain scheduling. *)

@@ -12,12 +12,20 @@
 val env_domains : unit -> int option
 (** The [ARCHPRED_DOMAINS] environment variable, when set to a positive
     integer.  Consulted by {!default_domains}; exposed so executables can
-    report or thread the setting explicitly. *)
+    report or thread the setting explicitly.  This is the single parsing
+    point for the variable: a set-but-invalid value (non-integer, zero or
+    negative) raises [Archpred_obs.Error.Archpred (Invalid_env _)] instead
+    of being silently ignored. *)
 
 val default_domains : unit -> int
 (** Number of domains used when [domains] is not given: [ARCHPRED_DOMAINS]
     if set, otherwise the recommended domain count for this machine capped
     at 8. *)
+
+val queue_depth : unit -> int
+(** Number of tasks currently queued in the worker pool (0 when the pool
+    has never been started; reading never spawns domains).  A sampling
+    probe for observability gauges. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f xs] evaluates [f] on every element, splitting the work across

@@ -8,6 +8,7 @@ module Paper_space = Core.Paper_space
 module Response = Core.Response
 module Build = Core.Build
 module Tune = Core.Tune
+module Config = Core.Config
 module Predictor = Core.Predictor
 module Trend = Core.Trend
 module Search = Core.Search
@@ -123,8 +124,12 @@ let test_tune_returns_grid_values () =
   let rng = Rng.create 7 in
   let points, responses = synthetic_sample rng 40 in
   let result =
-    Tune.tune ~p_min_grid:[ 1; 2 ] ~alpha_grid:[ 5.; 9. ] ~dim:9 ~points
-      ~responses ()
+    Tune.tune
+      ~config:
+        (Config.default
+        |> Config.with_p_min_grid [ 1; 2 ]
+        |> Config.with_alpha_grid [ 5.; 9. ])
+      ~dim:9 ~points ~responses ()
   in
   Alcotest.(check bool) "p_min from grid" true
     (List.mem result.Tune.p_min [ 1; 2 ]);
@@ -137,8 +142,12 @@ let test_build_train_accurate_on_synthetic () =
   let rng = Rng.create 8 in
   let response = Response.synthetic_smooth ~dim:9 in
   let trained =
-    Build.train ~lhs_candidates:20 ~rng ~space:Paper_space.space ~response
-      ~n:60 ()
+    Build.train
+      ~config:
+        (Config.default |> Config.with_rng rng
+        |> Config.with_lhs_candidates 20
+        |> Config.with_sample_size 60)
+      ~space:Paper_space.space ~response ()
   in
   let test = Paper_space.test_points rng ~n:30 in
   let actual = Array.map response.Response.eval test in
@@ -151,8 +160,12 @@ let test_build_beats_linear_on_cliff () =
   let rng = Rng.create 9 in
   let response = Response.synthetic_cliff ~dim:9 in
   let trained =
-    Build.train ~lhs_candidates:20 ~rng ~space:Paper_space.space ~response
-      ~n:80 ()
+    Build.train
+      ~config:
+        (Config.default |> Config.with_rng rng
+        |> Config.with_lhs_candidates 20
+        |> Config.with_sample_size 80)
+      ~space:Paper_space.space ~response ()
   in
   let linear =
     Archpred_linreg.Model.stepwise ~points:trained.Build.sample
@@ -175,9 +188,11 @@ let test_build_to_accuracy_stops_early () =
   let test = Paper_space.test_points rng ~n:20 in
   let actual = Array.map response.Response.eval test in
   let history =
-    Build.build_to_accuracy ~lhs_candidates:10 ~rng ~space:Paper_space.space
-      ~response ~sizes:[ 40; 60; 80 ] ~test_points:test ~test_responses:actual
-      ~target_mean_pct:50. ()
+    Build.build_to_accuracy
+      ~config:
+        (Config.default |> Config.with_rng rng |> Config.with_lhs_candidates 10)
+      ~space:Paper_space.space ~response ~sizes:[ 40; 60; 80 ]
+      ~test_points:test ~test_responses:actual ~target_mean_pct:50. ()
   in
   (* a 50% target is trivially met at the first size *)
   Alcotest.(check int) "one step" 1 (List.length history.Build.steps);
@@ -189,9 +204,11 @@ let test_build_to_accuracy_exhausts_schedule () =
   let test = Paper_space.test_points rng ~n:20 in
   let actual = Array.map response.Response.eval test in
   let history =
-    Build.build_to_accuracy ~lhs_candidates:5 ~rng ~space:Paper_space.space
-      ~response ~sizes:[ 30; 50 ] ~test_points:test ~test_responses:actual
-      ~target_mean_pct:0.0001 ()
+    Build.build_to_accuracy
+      ~config:
+        (Config.default |> Config.with_rng rng |> Config.with_lhs_candidates 5)
+      ~space:Paper_space.space ~response ~sizes:[ 30; 50 ] ~test_points:test
+      ~test_responses:actual ~target_mean_pct:0.0001 ()
   in
   Alcotest.(check int) "both steps" 2 (List.length history.Build.steps)
 
@@ -200,7 +217,12 @@ let test_build_to_accuracy_exhausts_schedule () =
 let trained_synthetic () =
   let rng = Rng.create 12 in
   let response = Response.synthetic_smooth ~dim:9 in
-  Build.train ~lhs_candidates:10 ~rng ~space:Paper_space.space ~response ~n:50 ()
+  Build.train
+    ~config:
+      (Config.default |> Config.with_rng rng
+      |> Config.with_lhs_candidates 10
+      |> Config.with_sample_size 50)
+    ~space:Paper_space.space ~response ()
 
 let test_predictor_natural_units () =
   let trained = trained_synthetic () in
@@ -256,7 +278,11 @@ let test_search_finds_low_corner () =
      the minimiser should push x0 high and x1 low *)
   let rng = Rng.create 13 in
   let trained = trained_synthetic () in
-  let result = Search.minimize ~scan:500 ~rng ~predictor:trained.Build.predictor () in
+  let result =
+    Search.minimize
+      ~config:(Config.with_rng rng Config.default)
+      ~scan:500 ~predictor:trained.Build.predictor ()
+  in
   Alcotest.(check bool) "x0 pushed high" true (result.Search.point.(0) > 0.6);
   Alcotest.(check bool) "x1 pushed low" true (result.Search.point.(1) < 0.4);
   Alcotest.(check bool) "evaluations counted" true (result.Search.evaluations >= 500)
@@ -266,8 +292,9 @@ let test_search_respects_constraint () =
   let trained = trained_synthetic () in
   let constraint_ p = p.(0) <= 0.5 in
   let result =
-    Search.minimize ~scan:500 ~constraint_ ~rng
-      ~predictor:trained.Build.predictor ()
+    Search.minimize
+      ~config:(Config.with_rng rng Config.default)
+      ~scan:500 ~constraint_ ~predictor:trained.Build.predictor ()
   in
   Alcotest.(check bool) "constraint held" true (result.Search.point.(0) <= 0.5)
 
@@ -275,10 +302,15 @@ let test_search_infeasible () =
   let rng = Rng.create 15 in
   let trained = trained_synthetic () in
   Alcotest.check_raises "no feasible point"
-    (Invalid_argument "Search.minimize: no feasible point found in scan")
+    (Core.Error.Archpred
+       (Core.Error.Infeasible
+          { where = "Search.minimize"; what = "no feasible point found in scan" }))
     (fun () ->
       ignore
-        (Search.minimize ~scan:10 ~constraint_:(fun _ -> false) ~rng
+        (Search.minimize
+           ~config:(Config.with_rng rng Config.default)
+           ~scan:10
+           ~constraint_:(fun _ -> false)
            ~predictor:trained.Build.predictor ()))
 
 (* ---------- integration: simulator-backed model ---------- *)
@@ -289,8 +321,14 @@ let test_end_to_end_simulator_model () =
     Response.simulator ~trace_length:5_000 Archpred_workloads.Spec2000.crafty
   in
   let trained =
-    Build.train ~lhs_candidates:10 ~p_min_grid:[ 1 ] ~alpha_grid:[ 7. ] ~rng
-      ~space:Paper_space.space ~response ~n:30 ()
+    Build.train
+      ~config:
+        (Config.default |> Config.with_rng rng
+        |> Config.with_lhs_candidates 10
+        |> Config.with_p_min_grid [ 1 ]
+        |> Config.with_alpha_grid [ 7. ]
+        |> Config.with_sample_size 30)
+      ~space:Paper_space.space ~response ()
   in
   let test = Paper_space.test_points rng ~n:10 in
   let actual = Response.evaluate_many response test in
@@ -340,7 +378,10 @@ let test_crossval_rbf_trainer () =
 let test_crossval_too_few_points () =
   let rng = Rng.create 22 in
   Alcotest.check_raises "n < k"
-    (Invalid_argument "Crossval.k_fold: fewer points than folds") (fun () ->
+    (Core.Error.Archpred
+       (Core.Error.Invalid_input
+          { where = "Crossval.k_fold"; what = "fewer points than folds" }))
+    (fun () ->
       ignore
         (Core.Crossval.k_fold ~k:5 ~rng
            ~train:(fun ~points:_ ~responses:_ _ -> 0.)
@@ -412,7 +453,7 @@ let test_persist_file_roundtrip () =
 let test_persist_rejects_garbage () =
   Alcotest.(check bool) "garbage fails" true
     (match Core.Persist.of_string "not a model\n" with
-    | exception Failure _ -> true
+    | exception Core.Error.Archpred (Core.Error.Parse_error _) -> true
     | _ -> false)
 
 let test_persist_rejects_truncated () =
@@ -421,7 +462,7 @@ let test_persist_rejects_truncated () =
   let truncated = String.sub text 0 (String.length text / 2) in
   Alcotest.(check bool) "truncated fails" true
     (match Core.Persist.of_string truncated with
-    | exception Failure _ -> true
+    | exception Core.Error.Archpred (Core.Error.Parse_error _) -> true
     | _ -> false)
 
 (* ---------- metric responses ---------- *)
@@ -501,8 +542,13 @@ let test_training_deterministic () =
   (* identical seeds give bit-identical models end to end *)
   let response = Response.synthetic_smooth ~dim:9 in
   let train () =
-    Build.train ~lhs_candidates:10
-      ~rng:(Rng.create 99) ~space:Paper_space.space ~response ~n:40 ()
+    Build.train
+      ~config:
+        (Config.default
+        |> Config.with_rng (Rng.create 99)
+        |> Config.with_lhs_candidates 10
+        |> Config.with_sample_size 40)
+      ~space:Paper_space.space ~response ()
   in
   let a = train () and b = train () in
   let rng = Rng.create 5 in
@@ -519,8 +565,13 @@ let test_tune_domain_invariant () =
   let rng = Rng.create 41 in
   let points, responses = synthetic_sample rng 40 in
   let run domains =
-    Tune.tune ~p_min_grid:[ 1; 2 ] ~alpha_grid:[ 5.; 9. ] ~domains ~dim:9
-      ~points ~responses ()
+    Tune.tune
+      ~config:
+        (Config.default
+        |> Config.with_p_min_grid [ 1; 2 ]
+        |> Config.with_alpha_grid [ 5.; 9. ]
+        |> Config.with_domains domains)
+      ~dim:9 ~points ~responses ()
   in
   let base = run 1 in
   List.iter
@@ -541,8 +592,14 @@ let test_train_domain_invariant () =
      predictor bit for bit. *)
   let response = Response.synthetic_smooth ~dim:9 in
   let train domains =
-    Build.train ~lhs_candidates:10 ~domains ~rng:(Rng.create 99)
-      ~space:Paper_space.space ~response ~n:40 ()
+    Build.train
+      ~config:
+        (Config.default
+        |> Config.with_rng (Rng.create 99)
+        |> Config.with_lhs_candidates 10
+        |> Config.with_domains domains
+        |> Config.with_sample_size 40)
+      ~space:Paper_space.space ~response ()
   in
   let a = train 1 and b = train 5 in
   Alcotest.(check (float 0.)) "same discrepancy" a.Build.discrepancy
@@ -565,7 +622,7 @@ let test_persist_version_check () =
   in
   Alcotest.(check bool) "future version rejected" true
     (match Core.Persist.of_string bumped with
-    | exception Failure _ -> true
+    | exception Core.Error.Archpred (Core.Error.Parse_error _) -> true
     | _ -> false)
 
 let () =

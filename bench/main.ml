@@ -15,6 +15,7 @@
      bench/main.exe                 run experiments (ARCHPRED_SCALE) + micro
      bench/main.exe table3 fig7     run the named experiments only
      bench/main.exe --micro         run only the micro-benchmarks
+     bench/main.exe --crashsafe     measure checkpoint-journal overhead
      bench/main.exe --paper         run only the paper's tables and figures
      bench/main.exe --trace         print a span-tree summary after the runs
      bench/main.exe --metrics FILE  stream observability events as JSON lines
@@ -251,9 +252,74 @@ let run_micro () =
   write_bench_json measured
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint overhead: the crash-safety journal must not tax training. *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of [Build.train] on a simulator-backed response, with and
+   without a checkpoint journal.  Each rep builds a fresh response so the
+   simulator's memo table starts cold — otherwise later reps skip the
+   simulation work and the journal's share of the run is exaggerated. *)
+let run_crashsafe () =
+  let reps = 5 in
+  let journal = Filename.temp_file "bench_crashsafe" ".journal" in
+  let rm path = try Sys.remove path with Sys_error _ -> () in
+  rm journal;
+  let base_config =
+    Core.Config.default |> Core.Config.with_seed 11
+    |> Core.Config.with_sample_size 40
+    |> Core.Config.with_p_min_grid [ 1; 3 ]
+    |> Core.Config.with_alpha_grid [ 7. ]
+  in
+  let train config =
+    let response =
+      Core.Response.simulator ~trace_length:20_000 ~seed:7
+        Archpred_workloads.Spec2000.mcf
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Core.Build.train ~config ~space:Core.Paper_space.space ~response ());
+    Unix.gettimeofday () -. t0
+  in
+  ignore (train base_config) (* warm up allocator and code paths *);
+  let baseline = ref 0. and checkpointed = ref 0. in
+  for _ = 1 to reps do
+    baseline := !baseline +. train base_config;
+    rm journal;
+    checkpointed :=
+      !checkpointed +. train (Core.Config.with_checkpoint journal base_config)
+  done;
+  rm journal;
+  let baseline = !baseline /. float_of_int reps in
+  let checkpointed = !checkpointed /. float_of_int reps in
+  let overhead_pct = (checkpointed -. baseline) /. baseline *. 100. in
+  Printf.printf "checkpoint overhead (%d reps, n=40, mcf 20k insts)\n" reps;
+  Printf.printf "  baseline      %.4f s/train\n" baseline;
+  Printf.printf "  checkpointed  %.4f s/train\n" checkpointed;
+  Printf.printf "  overhead      %+.2f %%\n" overhead_pct;
+  let path = "BENCH_crashsafe.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"domains\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"sample_size\": 40,\n\
+    \  \"trace_length\": 20000,\n\
+    \  \"baseline_s_per_train\": %.6f,\n\
+    \  \"checkpointed_s_per_train\": %.6f,\n\
+    \  \"overhead_pct\": %.3f\n\
+     }\n"
+    (Stats.Parallel.default_domains ())
+    reps baseline checkpointed overhead_pct;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--crashsafe" args then (
+    run_crashsafe ();
+    exit 0);
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in
   let trace_flag = List.mem "--trace" args in

@@ -131,6 +131,44 @@ let sample_size_t =
     & opt int 90
     & info [ "n"; "sample-size" ] ~docv:"N" ~doc:"Training sample size.")
 
+(* Crash-safe training: --checkpoint journals each completed simulation;
+   --resume replays an existing journal instead of starting fresh.  The
+   two flags are shared by every subcommand that trains a model. *)
+let checkpoint_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal each completed simulation to $(docv) (CRC-framed JSON \
+           lines, fsynced in batches).  If training is interrupted — \
+           crash, SIGINT, out of memory, or an infeasible design point — \
+           rerunning with $(b,--resume) replays the journal and \
+           re-simulates only the missing points, producing a bit-identical \
+           model.  Without $(b,--resume), an existing journal at $(docv) \
+           is overwritten.")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay the valid records of an existing $(b,--checkpoint) \
+           journal (skipping its torn tail, if any) before simulating.  A \
+           journal written by a different run configuration is rejected.")
+
+(* Resolve the two flags into the config, rejecting --resume alone. *)
+let with_checkpoint ~checkpoint ~resume config =
+  match (checkpoint, resume) with
+  | None, true ->
+      Obs.Error.invalid_input ~where:"archpred"
+        "--resume requires --checkpoint FILE"
+  | None, false -> config
+  | Some path, resume ->
+      config
+      |> Core.Config.with_checkpoint path
+      |> Core.Config.with_resume resume
+
 (* ---------- benchmarks ---------- *)
 
 let benchmarks_cmd =
@@ -266,8 +304,8 @@ let train_cmd =
       & info [ "sizes" ] ~docv:"N,N,..."
           ~doc:"Sample-size schedule used with --target-error.")
   in
-  let run bench n trace_length seed test_n metric save target sizes trace
-      metrics =
+  let run bench n trace_length seed test_n metric save target sizes checkpoint
+      resume trace metrics =
     with_obs ~trace ~metrics @@ fun obs ->
     let rng = Stats.Rng.create seed in
     let response =
@@ -282,6 +320,7 @@ let train_cmd =
       |> Core.Config.with_rng rng
       |> Core.Config.with_sample_size n
       |> Core.Config.with_trace_length trace_length
+      |> with_checkpoint ~checkpoint ~resume
     in
     let t0 = Unix.gettimeofday () in
     let trained =
@@ -330,7 +369,8 @@ let train_cmd =
        ~doc:"Train an RBF performance model and report its accuracy")
     Term.(
       const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ test_n_t
-      $ metric_t $ save_t $ target_t $ sizes_t $ trace_t $ metrics_t)
+      $ metric_t $ save_t $ target_t $ sizes_t $ checkpoint_t $ resume_t
+      $ trace_t $ metrics_t)
 
 (* ---------- predict ---------- *)
 
@@ -377,7 +417,7 @@ let predict_cmd =
 (* ---------- search ---------- *)
 
 let search_cmd =
-  let run bench n trace_length seed trace metrics =
+  let run bench n trace_length seed checkpoint resume trace metrics =
     with_obs ~trace ~metrics @@ fun obs ->
     let rng = Stats.Rng.create seed in
     let response = Core.Response.simulator ~obs ~trace_length ~seed bench in
@@ -386,6 +426,7 @@ let search_cmd =
       |> Core.Config.with_rng rng
       |> Core.Config.with_sample_size n
       |> Core.Config.with_trace_length trace_length
+      |> with_checkpoint ~checkpoint ~resume
     in
     let trained =
       Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
@@ -405,8 +446,8 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Find the design point with the lowest predicted CPI")
     Term.(
-      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ trace_t
-      $ metrics_t)
+      const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t
+      $ checkpoint_t $ resume_t $ trace_t $ metrics_t)
 
 (* ---------- sensitivity ---------- *)
 

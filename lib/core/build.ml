@@ -1,6 +1,7 @@
 module Design = Archpred_design
 module Stats = Archpred_stats
 module Obs = Archpred_obs
+module Fault = Archpred_fault.Fault
 module Config = Config
 
 type trained = {
@@ -11,6 +12,118 @@ type trained = {
   criterion : float;
   tune : Tune.result;
 }
+
+(* Bit-exact point comparison: replayed journal records must match the
+   deterministically re-drawn sample coordinate for coordinate. *)
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (try
+        Array.iteri
+          (fun i x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+              raise Exit)
+          a;
+        true
+      with Exit -> false)
+
+(* Obtain the sample's responses with worker fault isolation and, when
+   [config.checkpoint] is set, streaming journal durability.
+
+   Isolation: each simulation task gets [config.task_retries] retries and
+   an optional wall-clock deadline; a permanently failing design point
+   ends as an [Error] slot instead of poisoning the pool, and after every
+   completed point is journaled the batch is reported as
+   [Archpred (Infeasible _)].  The per-stage retry / failed-task deltas
+   flow into [config.obs] as ["pool.retries"] / ["pool.failed_tasks"].
+
+   Journaling: completed (point, response) records stream to the journal
+   as tasks finish, so a crash — injected or real — forfeits at most the
+   current fsync batch.  On restart with [config.resume] (the default)
+   the journal's valid records are replayed and only the missing points
+   are re-simulated; the assembled response array is index-ordered, so
+   the final model is bit-identical to an uninterrupted run at any
+   domain count. *)
+let simulate ~(config : Config.t) ~response sample =
+  let { Config.domains; obs; task_retries; task_deadline; _ } = config in
+  let n = Array.length sample in
+  let r0 = Stats.Parallel.retries_total () in
+  let f0 = Stats.Parallel.failed_total () in
+  let journal, replayed =
+    match config.Config.checkpoint with
+    | None -> (None, [])
+    | Some path ->
+        let dim = if n = 0 then 0 else Array.length sample.(0) in
+        let j, records =
+          Checkpoint.start ~path ~n ~dim ~seed:config.Config.seed
+            ~response:response.Response.name ~resume:config.Config.resume ()
+        in
+        List.iter
+          (fun (r : Checkpoint.record) ->
+            if not (bits_equal r.Checkpoint.point sample.(r.Checkpoint.index))
+            then
+              Obs.Error.invalid_input ~where:"Build.train"
+                (Printf.sprintf
+                   "checkpoint journal %s: record %d does not match this \
+                    run's sample (was it written by a different \
+                    configuration?)"
+                   path r.Checkpoint.index))
+          records;
+        (Some j, records)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Checkpoint.close_noerr journal)
+    (fun () ->
+      let results = Array.make n nan in
+      let have = Array.make n false in
+      List.iter
+        (fun (r : Checkpoint.record) ->
+          results.(r.Checkpoint.index) <- r.Checkpoint.value;
+          have.(r.Checkpoint.index) <- true)
+        replayed;
+      let missing =
+        Array.of_seq
+          (Seq.filter (fun i -> not have.(i)) (Seq.init n Fun.id))
+      in
+      let outcomes =
+        Stats.Parallel.map_fallible ?domains ~retries:task_retries
+          ?deadline:task_deadline
+          (fun i ->
+            Fault.point "sim.task";
+            let v = response.Response.eval sample.(i) in
+            (match journal with
+            | Some j ->
+                Checkpoint.append j
+                  { Checkpoint.index = i; point = sample.(i); value = v }
+            | None -> ());
+            v)
+          missing
+      in
+      let failures = ref [] in
+      Array.iteri
+        (fun k outcome ->
+          match outcome with
+          | Ok v -> results.(missing.(k)) <- v
+          | Error e -> failures := (missing.(k), e) :: !failures)
+        outcomes;
+      let failures = List.rev !failures in
+      Obs.count obs "pool.retries" (Stats.Parallel.retries_total () - r0);
+      Obs.count obs "pool.failed_tasks" (Stats.Parallel.failed_total () - f0);
+      (* The journal is made durable and closed before any failure is
+         reported: a resumed run must see every completed point. *)
+      Option.iter Checkpoint.close journal;
+      match failures with
+      | [] -> results
+      | (i0, e0) :: _ ->
+          Obs.Error.infeasible ~where:"Build.train"
+            (Printf.sprintf
+               "%d of %d design points failed permanently (retry budget \
+                %d; first failure at point %d: %s); completed simulations \
+                %s"
+               (List.length failures) n task_retries i0
+               (Printexc.to_string e0)
+               (match config.Config.checkpoint with
+               | Some p -> "are journaled in " ^ p
+               | None -> "were discarded (no checkpoint configured)")))
 
 let train ?(config = Config.default) ~space ~response () =
   let config = Config.validate config in
@@ -25,7 +138,7 @@ let train ?(config = Config.default) ~space ~response () =
   let sample = plan.Design.Optimize.points in
   let sample_responses =
     Obs.with_span obs "build.simulate" @@ fun () ->
-    Response.evaluate_many ?domains response sample
+    simulate ~config ~response sample
   in
   let tune =
     Tune.tune ~config
@@ -90,14 +203,21 @@ let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
      pre-Config behaviour of threading a single stateful rng through. *)
   let config = Config.with_rng (Config.rng_of config) config in
   let sizes = List.sort_uniq compare sizes in
+  (* Each size is its own simulation campaign, so each gets its own
+     journal ([path.n<size>]) — replaying a 30-point journal into a
+     50-point run would mismatch. *)
+  let config_for n =
+    let c = Config.with_sample_size n config in
+    match config.Config.checkpoint with
+    | None -> c
+    | Some path -> Config.with_checkpoint (Printf.sprintf "%s.n%d" path n) c
+  in
   let rec go acc = function
     | [] ->
         let steps = List.rev acc in
         { steps; final = List.hd acc }
     | n :: rest ->
-        let trained =
-          train ~config:(Config.with_sample_size n config) ~space ~response ()
-        in
+        let trained = train ~config:(config_for n) ~space ~response () in
         let test_error =
           Predictor.errors_on trained.predictor ~points:test_points
             ~actual:test_responses

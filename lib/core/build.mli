@@ -38,7 +38,22 @@ val train :
     ["build.sample"], ["build.simulate"] and (via {!Tune.tune})
     ["build.tune"] stages on [config.obs], and samples the
     ["pool.queue_depth"] gauge.  Raises [Archpred (Invalid_input _)] on an
-    invalid configuration ({!Config.validate}). *)
+    invalid configuration ({!Config.validate}).
+
+    {b Crash safety.}  With [config.checkpoint] set, every completed
+    simulation streams to an append-only journal ({!Checkpoint}); a
+    restarted call with the same configuration replays the journal's
+    valid records, drops the torn tail, and re-simulates only the missing
+    design points — the final model is bit-identical
+    ({!Persist.to_string}) to an uninterrupted run, at any domain count.
+
+    {b Worker fault isolation.}  Each simulation task is retried up to
+    [config.task_retries] times (optionally under
+    [config.task_deadline]); design points that keep failing are
+    collected — after every completed point is journaled — into one
+    [Archpred (Infeasible _)] instead of poisoning the worker pool.  The
+    stage's retry and failure counts flow into [config.obs] as the
+    ["pool.retries"] and ["pool.failed_tasks"] counters. *)
 
 val train_args :
   ?criterion:Archpred_rbf.Criteria.t ->
@@ -80,8 +95,10 @@ val build_to_accuracy :
 (** Run the procedure over the ascending [sizes] schedule
     ([config.sample_size] is ignored), stopping early once the mean test
     error falls at or below [target_mean_pct] percent.  Every size draws
-    from one shared generator stream resolved once from [config].  Raises
-    [Archpred (Invalid_input _)] on an empty size schedule. *)
+    from one shared generator stream resolved once from [config].  With
+    [config.checkpoint] set, each size journals to its own sidecar
+    ([path.n<size>]).  Raises [Archpred (Invalid_input _)] on an empty
+    size schedule. *)
 
 val build_to_accuracy_args :
   ?criterion:Archpred_rbf.Criteria.t ->

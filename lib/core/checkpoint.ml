@@ -1,0 +1,301 @@
+module Json = Archpred_obs.Json
+module Fault = Archpred_fault.Fault
+
+type record = { index : int; point : float array; value : float }
+
+type t = {
+  path : string;
+  oc : out_channel;
+  lock : Mutex.t;
+  sync_every : int;
+  mutable pending : int;  (* appends since the last fsync *)
+  mutable closed : bool;
+}
+
+let format_name = "archpred-checkpoint"
+let format_version = 1
+
+(* Hexadecimal float literals round-trip every bit pattern (including the
+   sign of zero), unlike decimal shortest-form printing rounded through a
+   JSON parser. *)
+let float_to_hex f = Printf.sprintf "%h" f
+
+let float_of_hex i s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None ->
+      Archpred_obs.Error.parse_error ~where:"Checkpoint" ~line:i
+        ("bad float literal " ^ s)
+
+let frame payload = Crc32.to_hex (Crc32.string payload) ^ " " ^ payload ^ "\n"
+
+let header_payload ~n ~dim ~seed ~response =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.String "header");
+         ("format", Json.String format_name);
+         ("version", Json.Int format_version);
+         ("n", Json.Int n);
+         ("dim", Json.Int dim);
+         ("seed", Json.Int seed);
+         ("response", Json.String response);
+       ])
+
+let record_payload { index; point; value } =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.String "record");
+         ("index", Json.Int index);
+         ( "point",
+           Json.List
+             (Array.to_list
+                (Array.map (fun x -> Json.String (float_to_hex x)) point)) );
+         ("value", Json.String (float_to_hex value));
+       ])
+
+(* ---------- replay ---------- *)
+
+(* One framed line, already known to be newline-terminated: split the
+   checksum from the payload and verify it.  [None] means the line is not
+   an intact frame (a torn or corrupted tail). *)
+let unframe line =
+  if String.length line < 10 || line.[8] <> ' ' then None
+  else
+    let payload = String.sub line 9 (String.length line - 9) in
+    match Crc32.of_hex (String.sub line 0 8) with
+    | Some crc when Crc32.string payload = crc -> (
+        match Json.of_string payload with Ok j -> Some j | Error _ -> None)
+    | Some _ | None -> None
+
+let member_int k j =
+  match Json.member k j with Some (Json.Int v) -> Some v | _ -> None
+
+let member_string k j =
+  match Json.member k j with Some (Json.String v) -> Some v | _ -> None
+
+let json_type j = member_string "type" j
+
+let record_of_json ~line j =
+  let fail msg = Archpred_obs.Error.parse_error ~where:"Checkpoint" ~line msg in
+  let index = match member_int "index" j with Some i -> i | None -> fail "record without index" in
+  let value =
+    match member_string "value" j with
+    | Some v -> float_of_hex line v
+    | None -> fail "record without value"
+  in
+  let point =
+    match Json.member "point" j with
+    | Some (Json.List xs) ->
+        Array.of_list
+          (List.map
+             (function
+               | Json.String s -> float_of_hex line s
+               | _ -> fail "record point with non-string coordinate")
+             xs)
+    | _ -> fail "record without point"
+  in
+  { index; point; value }
+
+(* Read the intact prefix: returns the parsed header json (if line 1 is
+   intact), the records in journal order, and the byte offset at which
+   the intact prefix ends.  The first torn or corrupted line ends the
+   replay — everything after it is the crash's garbage. *)
+let read_prefix path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let size = in_channel_length ic in
+          let header = ref None and records = ref [] in
+          let valid_end = ref 0 and line_no = ref 0 and stop = ref false in
+          while not !stop do
+            let before = pos_in ic in
+            match input_line ic with
+            | exception End_of_file -> stop := true
+            | line ->
+                let after = pos_in ic in
+                (* [input_line] strips the newline; a line that ends at
+                   EOF without one is a torn write. *)
+                let terminated =
+                  after > before + String.length line || after < size
+                in
+                if not terminated then stop := true
+                else (
+                  incr line_no;
+                  match unframe line with
+                  | None -> stop := true
+                  | Some j ->
+                      if !line_no = 1 then (
+                        header := Some (j, !line_no);
+                        valid_end := after)
+                      else (
+                        match json_type j with
+                        | Some "record" ->
+                            records := (record_of_json ~line:!line_no j, !line_no) :: !records;
+                            valid_end := after
+                        | _ -> stop := true))
+          done;
+          (!header, List.rev !records, !valid_end))
+
+let dedup_first records =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (r, _) ->
+      if Hashtbl.mem seen r.index then false
+      else (
+        Hashtbl.add seen r.index ();
+        true))
+    records
+
+let scan ~path =
+  let _header, records, _end = read_prefix path in
+  List.map fst (dedup_first records)
+
+(* ---------- writer ---------- *)
+
+let fsync_oc path oc =
+  match Unix.fsync (Unix.descr_of_out_channel oc) with
+  | () -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Archpred_obs.Error.io_error ~path (Unix.error_message err)
+
+let sync_locked t =
+  Fault.point "checkpoint.sync";
+  flush t.oc;
+  fsync_oc t.path t.oc;
+  t.pending <- 0
+
+let fresh ~path ~n ~dim ~seed ~response ~sync_every =
+  match
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
+  with
+  | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
+  | oc ->
+      let t =
+        {
+          path;
+          oc;
+          lock = Mutex.create ();
+          sync_every;
+          pending = 0;
+          closed = false;
+        }
+      in
+      (match
+         output_string oc (frame (header_payload ~n ~dim ~seed ~response));
+         sync_locked t
+       with
+      | () -> t
+      | exception e ->
+          (* don't leak an open channel whose deferred flush could land
+             on a journal reopened by a resumed run *)
+          close_out_noerr oc;
+          t.closed <- true;
+          raise e)
+
+let check_header ~path ~n ~dim ~seed ~response (j, line) =
+  let fail msg = Archpred_obs.Error.parse_error ~where:("Checkpoint " ^ path) ~line msg in
+  if json_type j <> Some "header" || member_string "format" j <> Some format_name
+  then fail "not an archpred checkpoint journal";
+  (match member_int "version" j with
+  | Some v when v = format_version -> ()
+  | _ -> fail "unsupported checkpoint version");
+  let want name expect got =
+    if got <> Some expect then
+      fail
+        (Printf.sprintf "journal belongs to a different run (%s mismatch)" name)
+  in
+  want "n" n (member_int "n" j);
+  want "dim" dim (member_int "dim" j);
+  want "seed" seed (member_int "seed" j);
+  if member_string "response" j <> Some response then
+    fail "journal belongs to a different run (response mismatch)"
+
+let start ~path ~n ~dim ~seed ~response ~resume ?(sync_every = 32) () =
+  if sync_every < 1 then invalid_arg "Checkpoint.start: sync_every < 1";
+  if not (resume && Sys.file_exists path) then
+    (fresh ~path ~n ~dim ~seed ~response ~sync_every, [])
+  else
+    let header, records, valid_end = read_prefix path in
+    match header with
+    | None ->
+        (* The crash tore even the header: nothing to keep. *)
+        (fresh ~path ~n ~dim ~seed ~response ~sync_every, [])
+    | Some h ->
+        check_header ~path ~n ~dim ~seed ~response h;
+        let records = dedup_first records in
+        List.iter
+          (fun (r, line) ->
+            if r.index < 0 || r.index >= n then
+              Archpred_obs.Error.parse_error ~where:("Checkpoint " ^ path)
+                ~line
+                (Printf.sprintf "record index %d out of range (n = %d)" r.index n);
+            if Array.length r.point <> dim then
+              Archpred_obs.Error.parse_error ~where:("Checkpoint " ^ path)
+                ~line
+                (Printf.sprintf "record point has %d coordinates (dim = %d)"
+                   (Array.length r.point) dim))
+          records;
+        (* Cut the torn tail off before appending over it. *)
+        (try
+           let size = (Unix.stat path).Unix.st_size in
+           if valid_end < size then Unix.truncate path valid_end
+         with Unix.Unix_error (err, _, _) ->
+           Archpred_obs.Error.io_error ~path (Unix.error_message err));
+        (match
+           open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+         with
+        | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
+        | oc ->
+            let t =
+              {
+                path;
+                oc;
+                lock = Mutex.create ();
+                sync_every;
+                pending = 0;
+                closed = false;
+              }
+            in
+            (t, List.map fst records))
+
+let append t r =
+  Fault.point "checkpoint.append";
+  let line = frame (record_payload r) in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (try
+         output_string t.oc line;
+         flush t.oc
+       with Sys_error msg -> Archpred_obs.Error.io_error ~path:t.path msg);
+      t.pending <- t.pending + 1;
+      if t.pending >= t.sync_every then sync_locked t)
+
+let sync t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> sync_locked t)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then (
+        sync_locked t;
+        close_out t.oc;
+        t.closed <- true))
+
+let close_noerr t =
+  Mutex.lock t.lock;
+  if not t.closed then (
+    close_out_noerr t.oc;
+    t.closed <- true);
+  Mutex.unlock t.lock

@@ -1,0 +1,95 @@
+(** Crash-safe simulation checkpoint journal.
+
+    Cycle-accurate simulation is the expensive step of model construction
+    — the paper's whole premise is that only a few hundred runs are
+    affordable — so a crash inside [Build.train] must not discard the
+    simulations that already finished.  The journal is an append-only
+    JSON-lines sidecar: every completed (design point, response) pair is
+    streamed to it as soon as the simulation task returns, and a
+    restarted run replays the journal, keeps every intact record, and
+    re-simulates only the missing points.
+
+    {2 Format}
+
+    Every line is one CRC-framed record:
+
+    {v <crc32-hex> <payload-json>\n v}
+
+    where the 8-hex-digit checksum is the CRC-32 ({!Crc32}) of the
+    payload bytes.  Line 1 is the header, identifying the run the
+    journal belongs to:
+
+    {v {"type":"header","format":"archpred-checkpoint","version":1,
+        "n":30,"dim":9,"seed":42,"response":"mcf:cpi"} v}
+
+    Subsequent lines are records; coordinates and responses are
+    hexadecimal float literals, so replay is bit-exact:
+
+    {v {"type":"record","index":3,"point":["0x1.8p-1",...],"value":"0x1.2ap+0"} v}
+
+    A torn tail — the line a crash cut short, detected by a missing
+    newline, a checksum mismatch, or unparseable JSON — is dropped and
+    truncated away on resume; everything before it is kept.  A complete
+    but *mismatching* header (different [n], [dim], [seed] or response
+    name) raises [Parse_error]: silently mixing journals from different
+    campaigns would corrupt the model.
+
+    Appends are mutex-guarded (simulation tasks run on worker domains),
+    flushed per record, and fsynced every [sync_every] records and on
+    {!sync}/{!close} — batch-boundary durability, so journaling stays
+    off the training hot path. *)
+
+type record = { index : int; point : float array; value : float }
+(** One completed simulation: the sample index, the normalised design
+    point, and its response. *)
+
+type t
+(** An open journal writer. *)
+
+val start :
+  path:string ->
+  n:int ->
+  dim:int ->
+  seed:int ->
+  response:string ->
+  resume:bool ->
+  ?sync_every:int ->
+  unit ->
+  t * record list
+(** [start ~path ~n ~dim ~seed ~response ~resume ()] opens the journal
+    for the identified run and returns the writer plus the replayed
+    records (in journal order, duplicates dropped first-wins).
+
+    With [resume = true] and an existing journal at [path]: the header
+    must match ([Parse_error] otherwise), valid records are replayed,
+    the torn tail (if any) is truncated off, and the file is reopened
+    for append.  A file whose very first line is torn is treated as
+    empty and restarted.  With [resume = false], or no existing file,
+    a fresh journal (header only, fsynced) is created and no records
+    are replayed.
+
+    [sync_every] (default 32) is the fsync batch size.  Raises
+    [Archpred (Io_error _)] on filesystem errors and
+    [Archpred (Parse_error _)] on a mismatching or out-of-range
+    journal. *)
+
+val append : t -> record -> unit
+(** Append one record (domain-safe) and flush it to the OS.  Fsyncs when
+    the batch fills.  Fault sites: ["checkpoint.append"] before the
+    write, ["checkpoint.sync"] inside a batch-boundary fsync. *)
+
+val sync : t -> unit
+(** Force a batch boundary: flush and fsync whatever is buffered. *)
+
+val close : t -> unit
+(** {!sync} then close the file.  Idempotent. *)
+
+val close_noerr : t -> unit
+(** Close without syncing and without raising — the abandon path after
+    a failure, when the journal's valid prefix is already on disk and
+    the current batch is forfeit (exactly what a real crash forfeits). *)
+
+val scan : path:string -> record list
+(** Replay a journal read-only: the valid records of the intact prefix,
+    duplicates dropped, torn tail ignored, no truncation, any header
+    accepted.  For tests and inspection. *)

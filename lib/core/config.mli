@@ -29,6 +29,21 @@ type t = {
   alpha_grid : float list;  (** tuning grid for the radius scale *)
   lhs_candidates : int;  (** latin hypercube candidates scored *)
   obs : Archpred_obs.t;  (** observability handle; {!Archpred_obs.null} off *)
+  checkpoint : string option;
+      (** journal each completed simulation to this file ({!Checkpoint});
+          a restarted run replays it and re-simulates only the missing
+          design points *)
+  resume : bool;
+      (** with [checkpoint] set: replay an existing journal (default)
+          instead of overwriting it with a fresh one *)
+  task_retries : int;
+      (** per-simulation-task retry budget in the fallible stages
+          (default 1); deterministic, so the set of permanently failing
+          points is independent of the domain count *)
+  task_deadline : float option;
+      (** wall-clock seconds a simulation task may take before the
+          attempt is failed with [Parallel.Deadline_exceeded];
+          [None] = unlimited *)
 }
 
 val default : t
@@ -54,6 +69,19 @@ val with_p_min_grid : int list -> t -> t
 val with_alpha_grid : float list -> t -> t
 val with_lhs_candidates : int -> t -> t
 val with_obs : Archpred_obs.t -> t -> t
+
+val with_checkpoint : string -> t -> t
+(** Journal completed simulations to this path; see {!Checkpoint} for
+    the format and {!Build.train} for the resume semantics. *)
+
+val without_checkpoint : t -> t
+
+val with_resume : bool -> t -> t
+(** Whether an existing journal at the checkpoint path is replayed
+    ([true], the default) or overwritten ([false]). *)
+
+val with_task_retries : int -> t -> t
+val with_task_deadline : float -> t -> t
 
 val rng_of : t -> Archpred_stats.Rng.t
 (** The explicit generator when set, otherwise a fresh one from [seed].

@@ -1,8 +1,9 @@
 module Design = Archpred_design
 module Network = Archpred_rbf.Network
+module Fault = Archpred_fault.Fault
 
 let magic = "archpred-model"
-let version = 1
+let version = 2
 
 let levels_to_string = function
   | Design.Parameter.Fixed l -> string_of_int l
@@ -12,7 +13,7 @@ let levels_of_string s =
   if s = "S" then Design.Parameter.Per_sample
   else Design.Parameter.Fixed (int_of_string s)
 
-let to_string (p : Predictor.t) =
+let body_to_string (p : Predictor.t) =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   add "%s %d" magic version;
@@ -41,43 +42,99 @@ let to_string (p : Predictor.t) =
     centers;
   Buffer.contents buf
 
-let save p path =
-  match open_out path with
-  | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg
-  | oc ->
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (to_string p))
+(* Version 2 closes the file with an integrity trailer over every
+   preceding byte; [load] refuses a model whose trailer does not match,
+   so a torn or bit-rotted file can never be mistaken for a model. *)
+let to_string p =
+  let body = body_to_string p in
+  body ^ Printf.sprintf "crc %s\n" (Crc32.to_hex (Crc32.string body))
 
 exception Parse of int * string
 
+(* Split the version-2 trailer off the raw text: the body (every byte up
+   to and including the newline before the [crc] line), the trailer's
+   checksum, and the 1-based line number of the trailer. *)
+let split_trailer text =
+  let trimmed = String.length text in
+  let trimmed =
+    let i = ref trimmed in
+    while !i > 0 && (text.[!i - 1] = '\n' || text.[!i - 1] = ' ' || text.[!i - 1] = '\r') do
+      decr i
+    done;
+    !i
+  in
+  let line_start =
+    match String.rindex_from_opt text (trimmed - 1) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let last = String.sub text line_start (trimmed - line_start) in
+  let line_no =
+    let n = ref 1 in
+    String.iteri (fun i c -> if c = '\n' && i < line_start then incr n) text;
+    !n
+  in
+  match String.split_on_char ' ' (String.trim last) with
+  | [ "crc"; hex ] -> Some (String.sub text 0 line_start, hex, line_no)
+  | _ -> None
+
 let of_string text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
-    |> Array.of_list
-  in
   let fail i msg = raise (Parse (i + 1, msg)) in
-  let words i =
-    if i >= Array.length lines then fail i "unexpected end of file"
-    else String.split_on_char ' ' (String.trim lines.(i))
-         |> List.filter (fun w -> w <> "")
-  in
-  let float_of i s =
-    match float_of_string_opt s with
-    | Some f -> f
-    | None -> fail i ("bad float " ^ s)
-  in
-  let int_of i s =
-    match int_of_string_opt s with
-    | Some v -> v
-    | None -> fail i ("bad int " ^ s)
-  in
   try
-    (match words 0 with
-    | [ m; v ] when m = magic ->
-        if int_of 0 v <> version then fail 0 "unsupported version"
-    | _ -> fail 0 "not an archpred model file");
+    (* The version decides the framing, so it is read first, from the raw
+       first line — an unsupported version must not be reported as a
+       checksum problem. *)
+    let first_line =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    let file_version =
+      match
+        String.split_on_char ' ' (String.trim first_line)
+        |> List.filter (fun w -> w <> "")
+      with
+      | [ m; v ] when m = magic -> (
+          match int_of_string_opt v with
+          | Some v when v = 1 || v = 2 -> v
+          | Some _ | None -> fail 0 "unsupported version")
+      | _ -> fail 0 "not an archpred model file"
+    in
+    let body =
+      if file_version = 1 then text
+      else
+        match split_trailer text with
+        | None -> fail 0 "version 2 file without crc trailer"
+        | Some (body, hex, line_no) ->
+            let expect =
+              match Crc32.of_hex hex with
+              | Some c -> c
+              | None -> fail (line_no - 1) ("bad crc trailer " ^ hex)
+            in
+            if Crc32.string body <> expect then
+              fail (line_no - 1) "crc mismatch: model file is corrupt";
+            body
+    in
+    let lines =
+      String.split_on_char '\n' body
+      |> List.filter (fun l -> String.trim l <> "")
+      |> Array.of_list
+    in
+    let words i =
+      if i >= Array.length lines then fail i "unexpected end of file"
+      else String.split_on_char ' ' (String.trim lines.(i))
+           |> List.filter (fun w -> w <> "")
+    in
+    let float_of i s =
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail i ("bad float " ^ s)
+    in
+    let int_of i s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> fail i ("bad int " ^ s)
+    in
     let dim =
       match words 1 with
       | [ "space"; d ] -> int_of 1 d
@@ -128,6 +185,18 @@ let of_string text =
           weights := values.((2 * dim)) :: !weights
       | _ -> fail i "expected: center <c..> <r..> <w>"
     done;
+    (* The [centers N D] header is authoritative: any line left over —
+       a duplicated center, stray data, a second model pasted on — means
+       the counts disagree and the file must be rejected, not silently
+       half-read. *)
+    let expected_lines = 5 + dim + m in
+    if Array.length lines > expected_lines then
+      fail expected_lines
+        (match words expected_lines with
+        | "center" :: _ ->
+            Printf.sprintf
+              "more center lines than the declared count (centers %d %d)" m dim
+        | _ -> "unexpected trailing line after the last center");
     let network =
       {
         Network.centers = Array.of_list (List.rev !centers);
@@ -138,6 +207,47 @@ let of_string text =
     { Predictor.space; network; tree = None; p_min; alpha }
   with Parse (line, msg) ->
     Archpred_obs.Error.parse_error ~where:"Persist.of_string" ~line msg
+
+(* Atomic save: the bytes go to a sibling temp file, reach the disk
+   (fsync) before the rename, and only then replace [path] in one atomic
+   step.  A crash, ENOSPC, or injected fault at any point leaves the
+   previous model intact — the destination is never opened for writing.
+   Fault sites: ["io.write"] before the body is written,
+   ["persist.rename"] after the temp file is durable. *)
+let save p path =
+  let data = to_string p in
+  let tmp = path ^ ".tmp" in
+  let committed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      (match open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp with
+      | exception Sys_error msg -> Archpred_obs.Error.io_error ~path:tmp msg
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              Fault.point "io.write";
+              (try
+                 output_string oc data;
+                 flush oc
+               with Sys_error msg -> Archpred_obs.Error.io_error ~path:tmp msg);
+              (try Unix.fsync (Unix.descr_of_out_channel oc)
+               with Unix.Unix_error (err, _, _) ->
+                 Archpred_obs.Error.io_error ~path:tmp (Unix.error_message err))));
+      Fault.point "persist.rename";
+      (match Sys.rename tmp path with
+      | () -> committed := true
+      | exception Sys_error msg -> Archpred_obs.Error.io_error ~path msg);
+      (* Best-effort durability of the directory entry itself; not all
+         filesystems allow fsync on a directory fd. *)
+      match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+      | exception Unix.Unix_error _ -> ()
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ()))
 
 let load path =
   match open_in path with

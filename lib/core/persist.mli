@@ -3,7 +3,7 @@
     A fitted RBF model is tiny (tens of centers over nine dimensions), so
     it travels as a line-oriented, human-readable text file:
 
-    {v archpred-model 1
+    {v archpred-model 2
        space 9
        param pipe_depth 24 7 18 linear int
        ...
@@ -11,7 +11,16 @@
        alpha 7
        centers 2 9
        center <c_1..c_9> <r_1..r_9> <weight>
-       ... v}
+       ...
+       crc 1a2b3c4d v}
+
+    Format version 2 ends with a [crc] trailer — the CRC-32 ({!Crc32})
+    of every preceding byte — which {!load}/{!of_string} verify, so a
+    torn, truncated, or bit-rotted file is rejected rather than loaded.
+    Version-1 files (no trailer) still load.  In both versions the
+    [centers N D] header is authoritative: a file whose center-line count
+    disagrees with it (duplicate, missing, or trailing lines) raises a
+    line-numbered [Parse_error] instead of being silently mis-parsed.
 
     A model trained once from hundreds of simulations can then serve CPI
     queries in other processes (see the CLI's [train --save] /
@@ -19,15 +28,26 @@
     ([Predictor.tree = None]). *)
 
 val save : Predictor.t -> string -> unit
-(** [save predictor path] writes the model.  Raises
-    [Archpred (Io_error _)] when the file cannot be created. *)
+(** [save predictor path] writes the model atomically: the bytes go to
+    [path ^ ".tmp"], are fsynced, and only then renamed over [path] —
+    a crash or full disk at any point leaves an existing model at
+    [path] untouched.  Raises [Archpred (Io_error _)] when the file
+    cannot be created or made durable.  Fault-injection sites
+    (for {!Archpred_fault.Fault}): ["io.write"] before the body is
+    written, ["persist.rename"] before the rename commits. *)
 
 val load : string -> Predictor.t
-(** Read a model back.  Raises [Archpred (Parse_error _)] with a
-    line-numbered message on a malformed file and [Archpred (Io_error _)]
-    when the file cannot be opened. *)
+(** Read a model back, verifying the version-2 [crc] trailer.  Raises
+    [Archpred (Parse_error _)] with a line-numbered message on a
+    malformed or corrupt file and [Archpred (Io_error _)] when the file
+    cannot be opened. *)
 
 val to_string : Predictor.t -> string
+(** Canonical version-2 serialisation, [crc] trailer included.  Equal
+    strings mean bit-identical models — the crash-matrix tests compare
+    resumed runs against uninterrupted ones with [String.equal] on this
+    output. *)
 
 val of_string : string -> Predictor.t
-(** Raises [Archpred (Parse_error _)] on malformed input. *)
+(** Raises [Archpred (Parse_error _)] on malformed input, a checksum
+    mismatch, or a center count that disagrees with the header. *)

@@ -171,6 +171,63 @@ let map ?domains f xs =
   let n = Array.length xs in
   if n = 0 then [||] else init ?domains n (fun i -> f xs.(i))
 
+(* ---------- worker fault isolation ---------- *)
+
+exception Deadline_exceeded of { elapsed : float; deadline : float }
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded { elapsed; deadline } ->
+        Some
+          (Printf.sprintf "Parallel.Deadline_exceeded (%.3fs > %.3fs)" elapsed
+             deadline)
+    | _ -> None)
+
+(* Cross-run totals, mirrored into observability counters by the callers
+   that own an obs handle (Build.train records the per-stage deltas). *)
+let retries_counter = Atomic.make 0
+let failed_counter = Atomic.make 0
+let retries_total () = Atomic.get retries_counter
+let failed_total () = Atomic.get failed_counter
+
+(* One isolated attempt sequence: run [f x] up to [1 + retries] times,
+   never letting an exception escape into the pool.  The budget is a
+   deterministic per-element constant, so which elements end in [Error]
+   does not depend on the domain count or scheduling (given [f] fails
+   deterministically per attempt).  The deadline is cooperative: OCaml
+   tasks cannot be preempted, so an attempt that outlives its wall-clock
+   budget is detected when it returns and treated as a failed attempt. *)
+let isolate ~retries ~deadline f x =
+  let budget = max 0 retries in
+  let rec go attempt =
+    match
+      Archpred_fault.Fault.point "pool.task";
+      let t0 = match deadline with None -> 0. | Some _ -> Unix.gettimeofday () in
+      let v = f x in
+      (match deadline with
+      | Some limit ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed > limit then
+            raise (Deadline_exceeded { elapsed; deadline = limit })
+      | None -> ());
+      v
+    with
+    | v -> Ok v
+    | exception e ->
+        if attempt < budget then begin
+          Atomic.incr retries_counter;
+          go (attempt + 1)
+        end
+        else begin
+          Atomic.incr failed_counter;
+          Error e
+        end
+  in
+  go 0
+
+let map_fallible ?domains ?(retries = 0) ?deadline f xs =
+  map ?domains (isolate ~retries ~deadline f) xs
+
 let map_reduce ?domains ~map:m ~combine xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Parallel.map_reduce: empty array";

@@ -41,6 +41,39 @@ val init : ?domains:int -> int -> (int -> 'a) -> 'a array
     array.  [f 0] is evaluated first, in the calling domain; with
     [domains <= 1] the remaining indices follow left to right. *)
 
+exception Deadline_exceeded of { elapsed : float; deadline : float }
+(** The failure recorded when a task attempt outlives its wall-clock
+    budget (see {!map_fallible}; the check is cooperative — OCaml tasks
+    cannot be preempted, so the attempt is failed when it returns). *)
+
+val retries_total : unit -> int
+(** Process-wide count of task attempts that were retried by
+    {!map_fallible} since startup.  Callers that own an observability
+    handle record the per-stage delta as a counter. *)
+
+val failed_total : unit -> int
+(** Process-wide count of tasks whose whole retry budget was exhausted
+    (one [Error] slot each). *)
+
+val map_fallible :
+  ?domains:int ->
+  ?retries:int ->
+  ?deadline:float ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** [map_fallible f xs] is {!map} with per-element fault isolation: an
+    element whose applications raise is retried up to [retries] times
+    (default 0) and then captured as [Error] in its slot instead of
+    poisoning the whole section — every other element still completes.
+    [deadline] (seconds of wall clock) fails attempts that run longer,
+    with {!Deadline_exceeded} as the captured exception.  The retry
+    budget is a deterministic per-element constant, so for an [f] that
+    fails deterministically the [Ok]/[Error] shape of the result is
+    identical at every domain count.  Each attempt marks the
+    ["pool.task"] fault-injection site ({!Archpred_fault.Fault}); the
+    {!retries_total} / {!failed_total} counters advance accordingly. *)
+
 val map_reduce :
   ?domains:int ->
   map:('a -> 'b) ->

@@ -1,0 +1,114 @@
+(* Headless crash-safety smoke check, run under `dune runtest` (like
+   check_metrics): a condensed fault-injection crash matrix over the
+   training pipeline.  For each injected crash — a permanently failing
+   simulation task, a failing journal append, a torn journal tail, an
+   interrupted atomic model save — it kills a checkpointed training run,
+   resumes it, and asserts the resumed model is byte-identical
+   (Persist.to_string) to an uninterrupted run, at 1 and 4 domains. *)
+
+module Core = Archpred_core
+module Build = Core.Build
+module Config = Core.Config
+module Persist = Core.Persist
+module Response = Core.Response
+module Fault = Archpred_fault.Fault
+module Error = Archpred_obs.Error
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_crashsafe: " ^ m); exit 1) fmt
+
+let tmp suffix =
+  let path = Filename.temp_file "check_crashsafe" suffix in
+  Sys.remove path;
+  path
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+let config ~domains =
+  Config.default |> Config.with_seed 11 |> Config.with_sample_size 10
+  |> Config.with_lhs_candidates 5
+  |> Config.with_p_min_grid [ 1 ]
+  |> Config.with_alpha_grid [ 7. ]
+  |> Config.with_domains domains
+
+let train ~domains ?checkpoint () =
+  let response = Response.synthetic_smooth ~dim:9 in
+  let config =
+    match checkpoint with
+    | None -> config ~domains
+    | Some p -> config ~domains |> Config.with_checkpoint p
+  in
+  Build.train ~config ~space:Core.Paper_space.space ~response ()
+
+let checks = ref 0
+
+let check_identical ctx reference trained =
+  incr checks;
+  if not (String.equal reference (Persist.to_string trained.Build.predictor))
+  then fail "%s: resumed model differs from uninterrupted run" ctx
+
+let crash_resume ~domains ~reference ~site ~k =
+  let path = tmp ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fault.reset ();
+  Fault.arm ~site ~after:k ~sticky:true ();
+  let ctx = Printf.sprintf "%s k=%d domains=%d" site k domains in
+  (match train ~domains ~checkpoint:path () with
+  | trained ->
+      Fault.reset ();
+      check_identical (ctx ^ " (uninterrupted)") reference trained
+  | exception (Error.Archpred (Error.Infeasible _) | Fault.Injected _) ->
+      Fault.reset ();
+      check_identical (ctx ^ " (resumed)") reference
+        (train ~domains ~checkpoint:path ()))
+
+let torn_tail ~domains ~reference =
+  let path = tmp ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  ignore (train ~domains ~checkpoint:path ());
+  let ic = open_in_bin path in
+  let full = In_channel.input_all ic in
+  close_in ic;
+  (* cut the journal in the middle of its last record *)
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 7));
+  close_out oc;
+  check_identical
+    (Printf.sprintf "torn tail domains=%d" domains)
+    reference
+    (train ~domains ~checkpoint:path ())
+
+let persist_atomic () =
+  let trained = train ~domains:1 () in
+  let path = tmp ".model" in
+  Fun.protect ~finally:(fun () -> rm path; rm (path ^ ".tmp")) @@ fun () ->
+  Persist.save trained.Build.predictor path;
+  let before = Persist.to_string (Persist.load path) in
+  List.iter
+    (fun site ->
+      Fault.reset ();
+      Fault.arm ~site ~after:1 ();
+      (match Persist.save trained.Build.predictor path with
+      | () -> fail "%s: fault did not fire" site
+      | exception Fault.Injected _ -> ());
+      Fault.reset ();
+      incr checks;
+      if Persist.to_string (Persist.load path) <> before then
+        fail "%s: interrupted save damaged the existing model" site)
+    [ "io.write"; "persist.rename" ]
+
+let () =
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  List.iter
+    (fun domains ->
+      let reference = Persist.to_string (train ~domains ()).Build.predictor in
+      List.iter
+        (fun (site, ks) -> List.iter (fun k -> crash_resume ~domains ~reference ~site ~k) ks)
+        [
+          ("sim.task", [ 1; 4; 9; 25 ]);
+          ("checkpoint.append", [ 1; 5 ]);
+          ("checkpoint.sync", [ 1; 2 ]);
+        ];
+      torn_tail ~domains ~reference)
+    [ 1; 4 ];
+  persist_atomic ();
+  Printf.printf "ok: crash matrix passed (%d bit-identical checks)\n" !checks

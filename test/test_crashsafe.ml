@@ -1,0 +1,444 @@
+(* Crash-safety tests: the simulation checkpoint journal, atomic model
+   persistence, worker fault isolation, and the deterministic
+   fault-injection harness that drives them.
+
+   The central invariant, asserted over and over: interrupting
+   [Build.train] anywhere — an injected task fault, a crash during a
+   journal append or sync, a torn journal tail truncated at every byte
+   boundary — and resuming from the checkpoint journal yields a model
+   whose [Persist.to_string] is *byte-identical* to an uninterrupted
+   run, at 1 and at 4 domains. *)
+
+module Core = Archpred_core
+module Paper_space = Core.Paper_space
+module Response = Core.Response
+module Build = Core.Build
+module Config = Core.Config
+module Persist = Core.Persist
+module Checkpoint = Core.Checkpoint
+module Crc32 = Core.Crc32
+module Obs = Archpred_obs
+module Parallel = Archpred_stats.Parallel
+module Fault = Archpred_fault.Fault
+
+let with_faults f =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset f
+
+let tmp_path suffix =
+  let path = Filename.temp_file "archpred_crashsafe" suffix in
+  Sys.remove path;
+  path
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+(* A cheap deterministic response whose evaluations we can count: the
+   torn-tail matrix asserts that resume re-simulates *only* the missing
+   points. *)
+let counted_response () =
+  let evals = Atomic.make 0 in
+  let base = Response.synthetic_smooth ~dim:9 in
+  ( {
+      Response.name = base.Response.name;
+      eval =
+        (fun p ->
+          Atomic.incr evals;
+          base.Response.eval p);
+    },
+    evals )
+
+let base_config ?(domains = 1) () =
+  Config.default |> Config.with_seed 11 |> Config.with_sample_size 12
+  |> Config.with_lhs_candidates 5
+  |> Config.with_p_min_grid [ 1 ]
+  |> Config.with_alpha_grid [ 7. ]
+  |> Config.with_domains domains
+
+let train ?domains ?checkpoint ?(retries = 1) () =
+  let response, _ = counted_response () in
+  let config =
+    let c = base_config ?domains () |> Config.with_task_retries retries in
+    match checkpoint with None -> c | Some p -> Config.with_checkpoint p c
+  in
+  Build.train ~config ~space:Paper_space.space ~response ()
+
+(* The uninterrupted model every crash-and-resume run must reproduce. *)
+let reference = lazy (Persist.to_string (train ()).Build.predictor)
+
+let check_model_identical ctx trained =
+  Alcotest.(check string)
+    (ctx ^ ": bit-identical model")
+    (Lazy.force reference)
+    (Persist.to_string trained.Build.predictor)
+
+(* ---------- checkpoint journal basics ---------- *)
+
+let test_checkpoint_fresh_and_resume () =
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  check_model_identical "fresh journal" (train ~checkpoint:path ());
+  let records = Checkpoint.scan ~path in
+  Alcotest.(check int) "journal holds every record" 12 (List.length records);
+  (* Resuming a complete journal replays everything: zero simulations. *)
+  let response, evals = counted_response () in
+  let config = base_config () |> Config.with_checkpoint path in
+  let trained = Build.train ~config ~space:Paper_space.space ~response () in
+  check_model_identical "resumed complete journal" trained;
+  Alcotest.(check int) "no re-simulation" 0 (Atomic.get evals)
+
+let test_checkpoint_header_mismatch () =
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  ignore (train ~checkpoint:path ());
+  let config =
+    base_config () |> Config.with_checkpoint path |> Config.with_seed 12
+  in
+  let response, _ = counted_response () in
+  Alcotest.(check bool) "different seed rejected" true
+    (match Build.train ~config ~space:Paper_space.space ~response () with
+    | exception Obs.Error.Archpred (Obs.Error.Parse_error _) -> true
+    | _ -> false)
+
+let test_checkpoint_no_resume_overwrites () =
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  ignore (train ~checkpoint:path ());
+  let response, evals = counted_response () in
+  let config =
+    base_config () |> Config.with_checkpoint path |> Config.with_resume false
+  in
+  let trained = Build.train ~config ~space:Paper_space.space ~response () in
+  check_model_identical "fresh over old journal" trained;
+  Alcotest.(check int) "all points re-simulated" 12 (Atomic.get evals)
+
+(* ---------- crash matrix ---------- *)
+
+(* Arm [site] to fail permanently from its [k]-th hit, run a checkpointed
+   training, then disarm and resume.  Whatever happened first —
+   [Infeasible] from isolated task failures, a raw [Injected] escaping a
+   journal sync, or plain success when [k] is beyond the run's hits — the
+   model after resume must be byte-identical to the uninterrupted one. *)
+let crash_and_resume ~domains ~site ~k =
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  with_faults @@ fun () ->
+  Fault.arm ~site ~after:k ~sticky:true ();
+  let crashed =
+    match train ~domains ~checkpoint:path () with
+    | trained -> Some trained
+    | exception Obs.Error.Archpred (Obs.Error.Infeasible _) -> None
+    | exception Fault.Injected _ -> None
+  in
+  Fault.reset ();
+  let ctx = Printf.sprintf "%s k=%d domains=%d" site k domains in
+  match crashed with
+  | Some trained -> check_model_identical (ctx ^ " (no crash)") trained
+  | None -> check_model_identical (ctx ^ " (resumed)") (train ~domains ~checkpoint:path ())
+
+let test_crash_matrix_sim_task () =
+  List.iter
+    (fun domains ->
+      for k = 1 to 16 do
+        crash_and_resume ~domains ~site:"sim.task" ~k
+      done;
+      (* beyond every hit the run must simply succeed *)
+      crash_and_resume ~domains ~site:"sim.task" ~k:1000)
+    [ 1; 4 ]
+
+let test_crash_matrix_checkpoint_append () =
+  List.iter
+    (fun domains ->
+      for k = 1 to 12 do
+        crash_and_resume ~domains ~site:"checkpoint.append" ~k
+      done)
+    [ 1; 4 ]
+
+let test_crash_matrix_checkpoint_sync () =
+  (* Hit 1 is the header sync in [Checkpoint.start]; hit 2 the
+     batch-boundary sync in [close].  Both must be resumable. *)
+  List.iter
+    (fun domains ->
+      for k = 1 to 2 do
+        crash_and_resume ~domains ~site:"checkpoint.sync" ~k
+      done)
+    [ 1; 4 ]
+
+let test_transient_fault_absorbed_by_retry () =
+  (* A one-shot (non-sticky) task fault is absorbed by the retry budget:
+     training completes in one run, no resume needed. *)
+  List.iter
+    (fun domains ->
+      with_faults @@ fun () ->
+      Fault.arm ~site:"sim.task" ~after:3 ();
+      let path = tmp_path ".journal" in
+      Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+      check_model_identical
+        (Printf.sprintf "transient domains=%d" domains)
+        (train ~domains ~checkpoint:path ()))
+    [ 1; 4 ]
+
+let test_infeasible_reports_and_journals () =
+  with_faults @@ fun () ->
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  (* Fail every simulation task from hit 5 on: the first tasks complete
+     and must be journaled before Infeasible is raised. *)
+  Fault.arm ~site:"sim.task" ~after:5 ~sticky:true ();
+  let obs = Obs.create () in
+  let response, _ = counted_response () in
+  let config =
+    base_config () |> Config.with_checkpoint path |> Config.with_obs obs
+    |> Config.with_task_retries 0
+  in
+  (match Build.train ~config ~space:Paper_space.space ~response () with
+  | _ -> Alcotest.fail "expected Infeasible"
+  | exception Obs.Error.Archpred (Obs.Error.Infeasible _) -> ());
+  Alcotest.(check int) "completed points journaled" 4
+    (List.length (Checkpoint.scan ~path));
+  Alcotest.(check bool) "pool.failed_tasks counted" true
+    (Obs.counter obs "pool.failed_tasks" > 0)
+
+(* ---------- torn tail ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let test_torn_tail_every_byte () =
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  ignore (train ~checkpoint:path ());
+  let full = read_file path in
+  let size = String.length full in
+  (* Start of the last record line (the final byte is its newline). *)
+  let last_start = String.rindex_from full (size - 2) '\n' + 1 in
+  for cut = last_start to size - 1 do
+    let torn = tmp_path ".journal" in
+    Fun.protect ~finally:(fun () -> rm torn) @@ fun () ->
+    write_file torn (String.sub full 0 cut);
+    let response, evals = counted_response () in
+    let config = base_config () |> Config.with_checkpoint torn in
+    let trained = Build.train ~config ~space:Paper_space.space ~response () in
+    check_model_identical (Printf.sprintf "torn at byte %d" cut) trained;
+    Alcotest.(check int)
+      (Printf.sprintf "one missing point re-simulated (cut %d)" cut)
+      1 (Atomic.get evals)
+  done
+
+let test_torn_tail_garbage_line () =
+  (* A complete but corrupted tail line (bad checksum) is also dropped. *)
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  ignore (train ~checkpoint:path ());
+  let full = read_file path in
+  write_file path (full ^ "deadbeef {\"type\":\"record\"}\n");
+  let response, evals = counted_response () in
+  let config = base_config () |> Config.with_checkpoint path in
+  let trained = Build.train ~config ~space:Paper_space.space ~response () in
+  check_model_identical "corrupt tail line" trained;
+  Alcotest.(check int) "nothing re-simulated" 0 (Atomic.get evals)
+
+(* ---------- atomic persistence ---------- *)
+
+let predictor = lazy (train ()).Build.predictor
+
+let test_save_atomic_under_faults () =
+  List.iter
+    (fun site ->
+      with_faults @@ fun () ->
+      let path = tmp_path ".model" in
+      Fun.protect ~finally:(fun () -> rm path; rm (path ^ ".tmp")) @@ fun () ->
+      let p = Lazy.force predictor in
+      Persist.save p path;
+      let before = read_file path in
+      Fault.arm ~site ~after:1 ();
+      (match Persist.save p path with
+      | () -> Alcotest.failf "%s: expected injected fault" site
+      | exception Fault.Injected _ -> ());
+      Alcotest.(check string)
+        (site ^ ": old model survives the failed save")
+        before (read_file path);
+      Alcotest.(check bool)
+        (site ^ ": no temp file left behind")
+        false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check bool)
+        (site ^ ": surviving model still loads")
+        true
+        (ignore (Persist.load path); true))
+    [ "io.write"; "persist.rename" ]
+
+let test_save_then_load_verifies_crc () =
+  let path = tmp_path ".model" in
+  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  let p = Lazy.force predictor in
+  Persist.save p path;
+  let text = read_file path in
+  (* flip one byte in the body: load must reject the file *)
+  let corrupt = Bytes.of_string text in
+  let i = String.index text '.' in
+  Bytes.set corrupt i ',';
+  write_file path (Bytes.to_string corrupt);
+  Alcotest.(check bool) "corrupted model rejected" true
+    (match Persist.load path with
+    | exception Obs.Error.Archpred (Obs.Error.Parse_error _) -> true
+    | _ -> false)
+
+let strip_trailer text =
+  (* drop the final "crc xxxxxxxx" line *)
+  let no_nl = String.sub text 0 (String.length text - 1) in
+  let last = String.rindex no_nl '\n' in
+  String.sub text 0 (last + 1)
+
+let as_version_1 text =
+  let body = strip_trailer text in
+  "archpred-model 1" ^ String.sub body 16 (String.length body - 16)
+
+let test_version_1_still_loads () =
+  let p = Lazy.force predictor in
+  let v2 = Persist.to_string p in
+  let v1 = as_version_1 v2 in
+  let loaded = Persist.of_string v1 in
+  let probe = Array.make 9 0.25 in
+  Alcotest.(check (float 0.)) "same prediction from a version-1 file"
+    (Core.Predictor.predict p probe)
+    (Core.Predictor.predict loaded probe)
+
+let parse_error_line f =
+  match f () with
+  | exception Obs.Error.Archpred (Obs.Error.Parse_error { line; _ }) -> Some line
+  | _ -> None
+
+let test_reject_center_count_mismatch () =
+  let p = Lazy.force predictor in
+  let v1 = as_version_1 (Persist.to_string p) in
+  let lines = String.split_on_char '\n' v1 |> List.filter (fun l -> l <> "") in
+  let n_lines = List.length lines in
+  let center_line =
+    List.find (fun l -> String.length l > 7 && String.sub l 0 7 = "center ") lines
+  in
+  (* duplicated center line: one more center than the header declares *)
+  let dup = v1 ^ center_line ^ "\n" in
+  (match parse_error_line (fun () -> Persist.of_string dup) with
+  | Some line ->
+      Alcotest.(check int) "duplicate center rejected at the extra line"
+        (n_lines + 1) line
+  | None -> Alcotest.fail "duplicate center line accepted");
+  (* missing center line: one fewer than declared *)
+  let missing =
+    String.concat "\n" (List.filteri (fun i _ -> i <> n_lines - 1) lines) ^ "\n"
+  in
+  (match parse_error_line (fun () -> Persist.of_string missing) with
+  | Some line ->
+      Alcotest.(check int) "missing center rejected at eof line" n_lines line
+  | None -> Alcotest.fail "missing center line accepted");
+  (* stray trailing junk *)
+  (match parse_error_line (fun () -> Persist.of_string (v1 ^ "junk\n")) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "trailing junk accepted")
+
+(* ---------- worker fault isolation ---------- *)
+
+let shape = function Ok v -> Printf.sprintf "ok:%d" v | Error _ -> "error"
+
+let test_map_fallible_deterministic_across_domains () =
+  let xs = Array.init 20 Fun.id in
+  let f x = if x mod 3 = 0 then failwith "boom" else 2 * x in
+  let run domains =
+    let r0 = Parallel.retries_total () and f0 = Parallel.failed_total () in
+    let out = Parallel.map_fallible ~domains ~retries:2 f xs in
+    ( Array.to_list (Array.map shape out),
+      Parallel.retries_total () - r0,
+      Parallel.failed_total () - f0 )
+  in
+  let s1, r1, f1 = run 1 in
+  let s4, r4, f4 = run 4 in
+  Alcotest.(check (list string)) "same ok/error shape at 1 vs 4 domains" s1 s4;
+  Alcotest.(check int) "same retry count" r1 r4;
+  Alcotest.(check int) "same failure count" f1 f4;
+  Alcotest.(check int) "2 retries per failing element" (7 * 2) r1;
+  Alcotest.(check int) "each failing element fails once" 7 f1
+
+let test_map_fallible_deadline () =
+  let xs = Array.init 8 Fun.id in
+  let f x = if x = 5 then (Unix.sleepf 0.03; x) else x in
+  let run domains =
+    Parallel.map_fallible ~domains ~deadline:0.005 f xs
+    |> Array.map (function
+         | Ok v -> Printf.sprintf "ok:%d" v
+         | Error (Parallel.Deadline_exceeded _) -> "deadline"
+         | Error _ -> "other")
+    |> Array.to_list
+  in
+  let expect =
+    List.init 8 (fun i -> if i = 5 then "deadline" else Printf.sprintf "ok:%d" i)
+  in
+  Alcotest.(check (list string)) "deadline at 1 domain" expect (run 1);
+  Alcotest.(check (list string)) "deadline at 4 domains" expect (run 4)
+
+let test_pool_survives_failures () =
+  (* Error slots must not poison the pool for later parallel sections. *)
+  let xs = Array.init 16 Fun.id in
+  ignore (Parallel.map_fallible ~domains:4 (fun _ -> failwith "boom") xs);
+  let doubled = Parallel.map ~domains:4 (fun x -> x * 2) xs in
+  Alcotest.(check int) "pool still works" 30 doubled.(15)
+
+let () =
+  Alcotest.run "crashsafe"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "fresh and resume" `Quick
+            test_checkpoint_fresh_and_resume;
+          Alcotest.test_case "header mismatch" `Quick
+            test_checkpoint_header_mismatch;
+          Alcotest.test_case "no-resume overwrites" `Quick
+            test_checkpoint_no_resume_overwrites;
+        ] );
+      ( "crash matrix",
+        [
+          Alcotest.test_case "sim.task" `Quick test_crash_matrix_sim_task;
+          Alcotest.test_case "checkpoint.append" `Quick
+            test_crash_matrix_checkpoint_append;
+          Alcotest.test_case "checkpoint.sync" `Quick
+            test_crash_matrix_checkpoint_sync;
+          Alcotest.test_case "transient absorbed" `Quick
+            test_transient_fault_absorbed_by_retry;
+          Alcotest.test_case "infeasible journals" `Quick
+            test_infeasible_reports_and_journals;
+        ] );
+      ( "torn tail",
+        [
+          Alcotest.test_case "every byte of last record" `Quick
+            test_torn_tail_every_byte;
+          Alcotest.test_case "corrupt tail line" `Quick
+            test_torn_tail_garbage_line;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "atomic under faults" `Quick
+            test_save_atomic_under_faults;
+          Alcotest.test_case "crc detects corruption" `Quick
+            test_save_then_load_verifies_crc;
+          Alcotest.test_case "version 1 compatibility" `Quick
+            test_version_1_still_loads;
+          Alcotest.test_case "center count mismatch" `Quick
+            test_reject_center_count_mismatch;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_map_fallible_deterministic_across_domains;
+          Alcotest.test_case "deadline" `Quick test_map_fallible_deadline;
+          Alcotest.test_case "pool survives failures" `Quick
+            test_pool_survives_failures;
+        ] );
+    ]

@@ -227,8 +227,7 @@ let run_micro () =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = Stats.Tbl.sorted_bindings ~cmp:String.compare results in
   Printf.printf "%-42s %16s\n" "benchmark" "time/run";
   print_endline (String.make 60 '-');
   let measured =
@@ -319,6 +318,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--crashsafe" args then (
     run_crashsafe ();
+    (* archpred-lint: allow exit -- CLI early-exit after the crashsafe-only run *)
     exit 0);
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in

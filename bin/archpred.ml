@@ -322,7 +322,7 @@ let train_cmd =
       |> Core.Config.with_trace_length trace_length
       |> with_checkpoint ~checkpoint ~resume
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Archpred_obs.now_ns () in
     let trained =
       match target with
       | None ->
@@ -356,7 +356,7 @@ let train_cmd =
       trained.Core.Build.tune.Core.Tune.alpha
       (Core.Predictor.n_centers trained.Core.Build.predictor)
       trained.Core.Build.discrepancy
-      (Unix.gettimeofday () -. t0);
+      (Int64.to_float (Int64.sub (Archpred_obs.now_ns ()) t0) *. 1e-9);
     Format.printf "test error: %a@." Stats.Error_metrics.pp err;
     match save with
     | Some path ->

@@ -73,7 +73,7 @@ let run ?(initial = 30) ?(batch = 15) ?(rounds = 4) ?(pool = 500) ~rng ~space
           (acquisition ~points:!points ~residuals:cv.Crossval.residuals c, c))
         candidates
     in
-    Array.sort (fun (a, _) (b, _) -> compare b a) scored;
+    Array.sort (fun (a, _) (b, _) -> Float.compare b a) scored;
     let chosen = Array.init batch (fun i -> snd scored.(i)) in
     let new_responses = Response.evaluate_many response chosen in
     points := Array.append !points chosen;

@@ -202,7 +202,7 @@ let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
   (* All sizes share one generator stream (resolved once), matching the
      pre-Config behaviour of threading a single stateful rng through. *)
   let config = Config.with_rng (Config.rng_of config) config in
-  let sizes = List.sort_uniq compare sizes in
+  let sizes = List.sort_uniq Int.compare sizes in
   (* Each size is its own simulation campaign, so each gets its own
      journal ([path.n<size>]) — replaying a 30-point journal into a
      50-point run would mismatch. *)

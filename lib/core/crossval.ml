@@ -13,7 +13,7 @@ let k_fold ?(k = 5) ~rng ~train ~points ~responses () =
   let reject what = Archpred_obs.Error.invalid_input ~where:"Crossval.k_fold" what in
   if n < k then reject "fewer points than folds";
   if Array.length responses <> n then reject "points/responses mismatch";
-  Array.iter (fun y -> if y = 0. then reject "zero response") responses;
+  Array.iter (fun y -> if Float.equal y 0. then reject "zero response") responses;
   let order = Sampling.permutation rng n in
   let fold_of = Array.make n 0 in
   Array.iteri (fun rank i -> fold_of.(i) <- rank mod k) order;

@@ -9,7 +9,7 @@ let names predictor =
     (Design.Space.parameters predictor.Predictor.space)
 
 let sort_effects effects =
-  List.sort (fun a b -> compare b.magnitude a.magnitude) effects
+  List.sort (fun a b -> Float.compare b.magnitude a.magnitude) effects
 
 let main_effects ?(steps = 9) predictor =
   let dim = Design.Space.dimension predictor.Predictor.space in
@@ -74,5 +74,5 @@ let top_interactions ?(count = 10) predictor =
     done
   done;
   !pairs
-  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
   |> List.filteri (fun i _ -> i < count)

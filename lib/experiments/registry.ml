@@ -47,8 +47,8 @@ let run_all ?(entries = all) ctx ppf =
     (Context.seed ctx);
   List.iter
     (fun e ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Archpred_obs.now_ns () in
       e.run ctx ppf;
       Format.fprintf ppf "@.[%s finished in %.1fs]@." e.id
-        (Unix.gettimeofday () -. t0))
+        (Int64.to_float (Int64.sub (Archpred_obs.now_ns ()) t0) *. 1e-9))
     entries

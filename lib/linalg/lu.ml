@@ -31,7 +31,7 @@ let decompose a =
       sign := -. !sign
     end;
     let pkk = Matrix.get lu k k in
-    if pkk = 0. then raise Singular;
+    if Float.equal pkk 0. then raise Singular;
     for i = k + 1 to n - 1 do
       let factor = Matrix.get lu i k /. pkk in
       Matrix.set lu i k factor;

@@ -66,7 +66,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0. then
+      if not (Float.equal aik 0.) then
         for j = 0 to b.cols - 1 do
           m.data.((i * b.cols) + j) <-
             m.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
@@ -90,7 +90,7 @@ let tmul a b =
   for k = 0 to a.rows - 1 do
     for i = 0 to a.cols - 1 do
       let aki = a.data.((k * a.cols) + i) in
-      if aki <> 0. then
+      if not (Float.equal aki 0.) then
         for j = 0 to b.cols - 1 do
           m.data.((i * b.cols) + j) <-
             m.data.((i * b.cols) + j) +. (aki *. b.data.((k * b.cols) + j))

@@ -17,7 +17,7 @@ let decompose a =
       let v = Matrix.get qr i k in
       nrm := sqrt ((!nrm *. !nrm) +. (v *. v))
     done;
-    if !nrm <> 0. then begin
+    if not (Float.equal !nrm 0.) then begin
       let nrm = if Matrix.get qr k k < 0. then -. !nrm else !nrm in
       for i = k to p - 1 do
         Matrix.set qr i k (Matrix.get qr i k /. nrm)

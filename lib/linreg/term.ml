@@ -22,9 +22,11 @@ let rank = function Intercept -> 0 | Main _ -> 1 | Interaction _ -> 2
 let compare a b =
   match (a, b) with
   | Intercept, Intercept -> 0
-  | Main j, Main k -> Stdlib.compare j k
-  | Interaction (a1, a2), Interaction (b1, b2) -> Stdlib.compare (a1, a2) (b1, b2)
-  | _ -> Stdlib.compare (rank a) (rank b)
+  | Main j, Main k -> Int.compare j k
+  | Interaction (a1, a2), Interaction (b1, b2) ->
+      let c = Int.compare a1 b1 in
+      if c <> 0 then c else Int.compare a2 b2
+  | _ -> Int.compare (rank a) (rank b)
 
 let to_string ?names t =
   let name k =

@@ -74,7 +74,16 @@ let incr t name = count t name 1
    hashtable structure, so cross-domain merges (counters/report/close)
    must only happen outside parallel sections — which is where read APIs
    are called anyway; the owning domain's own buffer is always safe. *)
+(* Bindings sorted by their (unique) string key.  Hashtbl iteration
+   order is unspecified, and the values may carry floats (gauges), so
+   determinism comes from sorting on the key alone. *)
+let sorted_bindings tbl =
+  (* archpred-lint: allow hashtbl-order -- sanctioned wrapper: fold feeds a total-order key sort *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let sweep_locked s (buf : buffer) =
+  (* archpred-lint: allow hashtbl-order -- commutative int-add merge into totals *)
   Hashtbl.iter
     (fun name a ->
       let v = Atomic.exchange a 0 in
@@ -91,9 +100,9 @@ let counters t =
   | Some s ->
       Mutex.lock s.lock;
       merge_all_locked s;
-      let out = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.totals [] in
+      let out = sorted_bindings s.totals in
       Mutex.unlock s.lock;
-      List.sort compare out
+      out
 
 let counter t name =
   match List.assoc_opt name (counters t) with Some v -> v | None -> 0
@@ -114,9 +123,9 @@ let gauges t =
   | None -> []
   | Some s ->
       Mutex.lock s.lock;
-      let out = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.gauges [] in
+      let out = sorted_bindings s.gauges in
       Mutex.unlock s.lock;
-      List.sort compare out
+      out
 
 (* ---------- spans ---------- *)
 
@@ -193,14 +202,8 @@ let report t ppf =
             (p, a.total_ns, a.calls))
           order
       in
-      let counters =
-        List.sort compare
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.totals [])
-      in
-      let gauges =
-        List.sort compare
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.gauges [])
-      in
+      let counters = sorted_bindings s.totals in
+      let gauges = sorted_bindings s.gauges in
       Mutex.unlock s.lock;
       let have p = List.exists (fun (q, _, _) -> q = p) spans in
       let children p =
@@ -252,10 +255,7 @@ let close t =
   | Some s ->
       Mutex.lock s.lock;
       merge_all_locked s;
-      let counters =
-        List.sort compare
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.totals [])
-      in
+      let counters = sorted_bindings s.totals in
       List.iter
         (fun (name, value) -> Sink.emit s.sink (Sink.Counter { name; value }))
         counters;

@@ -17,6 +17,13 @@ module Error = Error
 module Json = Json
 module Sink = Sink
 
+val now_ns : unit -> int64
+(** Monotonic clock read (CLOCK_MONOTONIC, nanoseconds).  Exported so
+    elapsed-time measurements elsewhere (deadlines in [Stats.Parallel],
+    experiment timing) never touch the wall clock — the [wall-clock]
+    lint rule forbids [Unix.gettimeofday]/[Sys.time] outside this
+    library and [bench/]. *)
+
 type t
 
 val null : t

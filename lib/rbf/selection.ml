@@ -192,7 +192,7 @@ let select_forward ?(obs = Obs.null) ?(criterion = Criteria.Aicc) ?max_centers
       | Some _ | None -> continue_ := false
     end
   done;
-  let ids = List.sort compare !chosen in
+  let ids = List.sort Int.compare !chosen in
   let ids = if ids = [] then [ 0 ] else ids in
   let centers = Array.of_list (List.map (fun i -> all_centers.(i)) ids) in
   let network, diag = Network.fit ~centers ~points ~responses () in

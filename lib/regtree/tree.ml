@@ -42,7 +42,7 @@ let best_split ~dim ~points ~responses indices =
   let best = ref None in
   let order = Array.copy indices in
   for k = 0 to dim - 1 do
-    Array.sort (fun a b -> compare points.(a).(k) points.(b).(k)) order;
+    Array.sort (fun a b -> Float.compare points.(a).(k) points.(b).(k)) order;
     (* prefix sums of y and y^2 in sorted order *)
     let psum = Array.make (p + 1) 0. in
     let psq = Array.make (p + 1) 0. in
@@ -159,7 +159,7 @@ let nodes t =
         walk s.right
   in
   walk t.root;
-  List.sort (fun a b -> compare a.id b.id) !acc
+  List.sort (fun a b -> Int.compare a.id b.id) !acc
 
 let leaves t = List.filter (fun n -> n.split = None) (nodes t)
 
@@ -177,7 +177,7 @@ let predict t x =
 let splits t =
   nodes t
   |> List.filter_map (fun n -> n.split)
-  |> List.sort (fun a b -> compare a.order b.order)
+  |> List.sort (fun a b -> Int.compare a.order b.order)
 
 let center n =
   Array.init (Array.length n.lo) (fun k -> 0.5 *. (n.lo.(k) +. n.hi.(k)))
@@ -192,10 +192,10 @@ let region_disjoint_cover t =
     | None -> ()
     | Some s ->
         let merged =
-          List.sort compare
+          List.sort Int.compare
             (Array.to_list s.left.indices @ Array.to_list s.right.indices)
         in
-        if merged <> List.sort compare (Array.to_list n.indices) then
+        if merged <> List.sort Int.compare (Array.to_list n.indices) then
           ok := false;
         if Array.length s.left.indices = 0 || Array.length s.right.indices = 0
         then ok := false;

@@ -124,7 +124,7 @@ let mix t =
   Opcode.all
   |> List.map (fun o -> (o, float_of_int counts.(Opcode.to_int o) /. total))
   |> List.filter (fun (_, f) -> f > 0.)
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
 let validate t =
   let problem = ref None in

@@ -41,13 +41,15 @@ let quantile_knots points ~dim ~knots_per_dim =
   let n = Array.length points in
   List.init dim (fun k ->
       let values = Array.map (fun x -> x.(k)) points in
-      Array.sort compare values;
+      Array.sort Float.compare values;
       List.init knots_per_dim (fun q ->
           let pos =
             (q + 1) * (n - 1) / (knots_per_dim + 1)
           in
           (k, values.(pos)))
-      |> List.sort_uniq compare)
+      |> List.sort_uniq (fun (d1, k1) (d2, k2) ->
+             let c = Int.compare d1 d2 in
+             if c <> 0 then c else Float.compare k1 k2))
   |> List.concat
 
 let train ?(max_terms = 21) ?(knots_per_dim = 7) ~points ~responses () =

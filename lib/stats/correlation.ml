@@ -14,13 +14,13 @@ let pearson xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+  if Float.equal !sxx 0. || Float.equal !syy 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
 
 (* Ranks with ties sharing their average rank. *)
 let ranks xs =
   let n = Array.length xs in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) order;
   let r = Array.make n 0. in
   let i = ref 0 in
   while !i < n do
@@ -47,5 +47,5 @@ let r_squared ~actual ~predicted =
     ss_res := !ss_res +. (r *. r);
     ss_tot := !ss_tot +. (d *. d)
   done;
-  if !ss_tot = 0. then if !ss_res = 0. then 1. else neg_infinity
+  if Float.equal !ss_tot 0. then if Float.equal !ss_res 0. then 1. else neg_infinity
   else 1. -. (!ss_res /. !ss_tot)

@@ -4,7 +4,7 @@ let normal rng ~mean ~std =
   (* Box-Muller; u1 must be nonzero for the log. *)
   let rec nonzero () =
     let u = Rng.unit_float rng in
-    if u = 0. then nonzero () else u
+    if Float.equal u 0. then nonzero () else u
   in
   let u1 = nonzero () in
   let u2 = Rng.unit_float rng in
@@ -15,17 +15,17 @@ let exponential rng ~rate =
   if rate <= 0. then invalid_arg "Distributions.exponential: rate <= 0";
   let rec nonzero () =
     let u = Rng.unit_float rng in
-    if u = 0. then nonzero () else u
+    if Float.equal u 0. then nonzero () else u
   in
   -.log (nonzero ()) /. rate
 
 let geometric rng ~p =
   if p <= 0. || p > 1. then invalid_arg "Distributions.geometric: p not in (0,1]";
-  if p = 1. then 0
+  if Float.equal p 1. then 0
   else begin
     let rec nonzero () =
       let u = Rng.unit_float rng in
-      if u = 0. then nonzero () else u
+      if Float.equal u 0. then nonzero () else u
     in
     let u = nonzero () in
     int_of_float (floor (log u /. log (1. -. p)))
@@ -35,19 +35,19 @@ let zipf rng ~n ~s =
   if n <= 0 then invalid_arg "Distributions.zipf: n <= 0";
   if s < 0. then invalid_arg "Distributions.zipf: s < 0";
   if n = 1 then 0
-  else if s = 0. then Rng.int rng n
+  else if Float.equal s 0. then Rng.int rng n
   else begin
     (* Devroye's rejection method for the Zipf distribution on [1, n]. *)
     let nf = float_of_int n in
     let t =
-      if s = 1. then 1. +. log nf
+      if Float.equal s 1. then 1. +. log nf
       else (nf ** (1. -. s) -. s) /. (1. -. s)
     in
     let inv_cdf p =
       (* Inverse of the normalised envelope CDF. *)
       let pt = p *. t in
       if pt <= 1. then pt
-      else if s = 1. then exp (pt -. 1.)
+      else if Float.equal s 1. then exp (pt -. 1.)
       else (1. +. (pt *. (1. -. s))) ** (1. /. (1. -. s))
     in
     let rec draw () =

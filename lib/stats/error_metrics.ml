@@ -9,7 +9,7 @@ let absolute_percentage_errors ~actual ~predicted =
   if Array.length actual <> Array.length predicted then
     invalid_arg "Error_metrics: length mismatch";
   Array.init (Array.length actual) (fun i ->
-      if actual.(i) = 0. then
+      if Float.equal actual.(i) 0. then
         invalid_arg "Error_metrics: actual value is zero";
       100. *. abs_float (predicted.(i) -. actual.(i)) /. abs_float actual.(i))
 

@@ -160,7 +160,9 @@ let init ?domains n f =
             results.(!i) <- f !i;
             i := !i + d
           done
-        with e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
+        with
+        (* archpred-lint: allow catchall-exn -- transported; reraise_first re-raises on the caller *)
+        | e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
       in
       Pool.run (Array.init d task);
       reraise_first failure;
@@ -202,17 +204,22 @@ let isolate ~retries ~deadline f x =
   let rec go attempt =
     match
       Archpred_fault.Fault.point "pool.task";
-      let t0 = match deadline with None -> 0. | Some _ -> Unix.gettimeofday () in
+      let t0 =
+        match deadline with None -> 0L | Some _ -> Archpred_obs.now_ns ()
+      in
       let v = f x in
       (match deadline with
       | Some limit ->
-          let elapsed = Unix.gettimeofday () -. t0 in
+          let elapsed =
+            Int64.to_float (Int64.sub (Archpred_obs.now_ns ()) t0) *. 1e-9
+          in
           if elapsed > limit then
             raise (Deadline_exceeded { elapsed; deadline = limit })
       | None -> ());
       v
     with
     | v -> Ok v
+    (* archpred-lint: allow catchall-exn -- task isolation boundary: the retry budget, then Error e, is the sanctioned recovery path *)
     | exception e ->
         if attempt < budget then begin
           Atomic.incr retries_counter;
@@ -255,7 +262,9 @@ let map_reduce ?domains ~map:m ~combine xs =
           acc := combine !acc (m xs.(i))
         done;
         partials.(t) <- Some !acc
-      with e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
+      with
+      (* archpred-lint: allow catchall-exn -- transported; reraise_first re-raises on the caller *)
+      | e -> failure.(t) <- Some (e, Printexc.get_raw_backtrace ())
     in
     Pool.run (Array.init d task);
     reraise_first failure;

@@ -13,7 +13,7 @@ let checked_sorted name xs q =
   if Array.length xs = 0 then invalid_arg (name ^ ": empty array");
   if q < 0. || q > 1. then invalid_arg (name ^ ": quantile out of [0,1]");
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   sorted
 
 let quantile xs q =
@@ -29,7 +29,7 @@ let iqr xs =
 let quantiles xs qs =
   if Array.length xs = 0 then invalid_arg "Quantile.quantiles: empty array";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   List.map
     (fun q ->
       if q < 0. || q > 1. then invalid_arg "Quantile.quantiles: out of [0,1]";

@@ -1,5 +1,6 @@
 module Trace = Archpred_sim.Trace
 module Opcode = Archpred_sim.Opcode
+module Tbl = Archpred_stats.Tbl
 
 (* Fit the zipf exponent from the observed access share of the most popular
    tenth of lines, by bisection on the theoretical share. *)
@@ -75,8 +76,8 @@ let profile_of_trace ?(name = "extracted") trace =
   let code_zipf_s =
     let lines = Hashtbl.length code_lines in
     let counts =
-      Hashtbl.fold (fun _ v acc -> v :: acc) code_lines []
-      |> List.sort (fun a b -> compare b a)
+      Tbl.fold_sorted ~cmp:Int.compare (fun _ v acc -> v :: acc) code_lines []
+      |> List.sort (fun a b -> Int.compare b a)
     in
     let head = max 1 (lines / 10) in
     let head_hits =
@@ -109,14 +110,15 @@ let profile_of_trace ?(name = "extracted") trace =
     end
   done;
   let total_mem =
-    Hashtbl.fold (fun _ c acc -> acc + c.accesses) clusters 0
+    Tbl.fold_sorted ~cmp:Int.compare (fun _ c acc -> acc + c.accesses) clusters 0
   in
   let region_of c : Profile.region =
     let lines = Hashtbl.length c.lines in
     let bytes = max 4096 (lines * 64) in
     (* head concentration: share of accesses on the most popular tenth *)
     let counts =
-      Hashtbl.fold (fun _ v acc -> v :: acc) c.lines [] |> List.sort (fun a b -> compare b a)
+      Tbl.fold_sorted ~cmp:Int.compare (fun _ v acc -> v :: acc) c.lines []
+      |> List.sort (fun a b -> Int.compare b a)
     in
     let head = max 1 (lines / 10) in
     let head_hits =
@@ -133,10 +135,12 @@ let profile_of_trace ?(name = "extracted") trace =
   in
   (* at most three regions, ordered by footprint (hot = smallest) *)
   let regions =
-    Hashtbl.fold (fun _ c acc -> c :: acc) clusters []
+    (* sorted by 16MB-window key: region order (and the float weight sums
+       downstream) must not depend on hash-bucket order *)
+    Tbl.fold_sorted ~cmp:Int.compare (fun _ c acc -> c :: acc) clusters []
     |> List.filter (fun c -> c.accesses > 0)
     |> List.map region_of
-    |> List.sort (fun (a : Profile.region) b -> compare a.bytes b.bytes)
+    |> List.stable_sort (fun (a : Profile.region) b -> Int.compare a.bytes b.bytes)
   in
   let default_region w : Profile.region =
     { bytes = 4096; weight = w; stride_frac = 0.1; zipf_s = 1. }
@@ -201,7 +205,9 @@ let profile_of_trace ?(name = "extracted") trace =
   done;
   let loop_n = ref 0 and biased_n = ref 0 and hard_n = ref 0 in
   let biased_sum = ref 0. in
-  Hashtbl.iter
+  (* sorted by branch pc: [biased_sum] accumulates floats, so iteration
+     order is part of the result's bit pattern *)
+  Tbl.iter_sorted ~cmp:Int.compare
     (fun _ (t, tot, bw, _) ->
       if tot >= 4 then begin
         let rate = float_of_int t /. float_of_int tot in

@@ -1,0 +1,205 @@
+(* Golden tests for archpred-lint (tools/lint): every rule is exercised
+   for both detection and pragma suppression on a small fixture source,
+   plus the pragma meta-rules (unused / malformed), scope gating,
+   sanctioned modules, severity downgrades, Core.Error exit codes and
+   the JSON record shape.  The "real tree lints clean" half of the
+   contract lives in the root dune file: the @lint alias is attached to
+   runtest, so `dune runtest` fails on any violation in lib/ bin/
+   bench/ test/. *)
+
+module Lint = Lint_engine.Lint
+module Error = Archpred_obs.Error
+module Json = Archpred_obs.Json
+
+let scan ?(scope = Lint.Lib) ?mli_exists ?warn src =
+  Lint.scan_string ~scope ?mli_exists ?warn ~filename:"fixture.ml" src
+
+let rules_of findings = List.map (fun f -> f.Lint.rule) findings
+let srules = Alcotest.(list string)
+
+(* Each fixture puts its violation on line 1 so the generic suppression
+   test can prefix a pragma line. *)
+let fixtures =
+  [
+    ("random-global", "let _x = Random.int 5\n");
+    ("poly-compare", "let f (xs : float list) = List.sort compare xs\n");
+    ("hashtbl-order", "let f h = Hashtbl.iter (fun _ () -> ()) h\n");
+    ("wall-clock", "let t () = Unix.gettimeofday ()\n");
+    ("stdout-print", "let () = Printf.printf \"hi\"\n");
+    ("exit", "let f () = exit 1\n");
+    ("unsafe-cast", "let f x = Obj.magic x\n");
+    ("float-lit-eq", "let f x = x = 0.5\n");
+    ("catchall-exn", "let f g = try g () with _ -> 0\n");
+    ("missing-mli", "let x = 1\n");
+  ]
+
+let mli_exists_for rule = if rule = "missing-mli" then Some false else None
+
+let test_detects (rule, src) () =
+  let findings = scan ?mli_exists:(mli_exists_for rule) src in
+  Alcotest.check srules ("detects " ^ rule) [ rule ] (rules_of findings);
+  Alcotest.(check int) "counted as error" 1 (Lint.errors findings)
+
+let test_pragma_suppresses (rule, src) () =
+  let pragma =
+    Printf.sprintf "(* archpred-lint: allow %s -- fixture reason *)\n" rule
+  in
+  let findings = scan ?mli_exists:(mli_exists_for rule) (pragma ^ src) in
+  Alcotest.check srules ("pragma suppresses " ^ rule) [] (rules_of findings)
+
+let test_clean_file () =
+  let src =
+    "let f xs = List.sort Float.compare xs\n\
+     let g x = Float.equal x 0.5\n\
+     let h () = try List.hd [] with Failure _ -> 0\n"
+  in
+  Alcotest.check srules "clean file passes" [] (rules_of (scan src))
+
+let test_rule_table () =
+  Alcotest.(check int) "ten rules" 10 (List.length Lint.rules);
+  List.iter
+    (fun (rule, _) ->
+      Alcotest.(check bool)
+        (rule ^ " is a documented rule") true
+        (List.mem_assoc rule Lint.rules))
+    fixtures
+
+(* --- scope gating: the same construct is legal where sanctioned --- *)
+
+let test_scopes () =
+  let check ~scope ~expect name src =
+    Alcotest.check srules name expect (rules_of (scan ~scope src))
+  in
+  check ~scope:Lint.Bench ~expect:[] "wall-clock legal in bench/"
+    "let t () = Unix.gettimeofday ()\n";
+  check ~scope:Lint.Bin ~expect:[] "exit legal in bin/" "let f () = exit 1\n";
+  check ~scope:Lint.Bin ~expect:[] "stdout legal in bin/"
+    "let () = Printf.printf \"hi\"\n";
+  check ~scope:Lint.Test ~expect:[] "poly-compare tolerated in test/"
+    "let f xs = List.sort compare xs\n";
+  check ~scope:Lint.Test ~expect:[ "random-global" ]
+    "Random still illegal in test/" "let _x = Random.int 5\n"
+
+let test_sanctioned_module () =
+  let findings =
+    Lint.scan_string ~scope:Lint.Lib ~rel:"lib/stats/rng.ml"
+      ~filename:"rng.ml" "let _seed = Random.int 3\n"
+  in
+  Alcotest.check srules "Stats.Rng may touch Random" [] (rules_of findings)
+
+(* --- pragma meta-rules --- *)
+
+let test_unused_pragma () =
+  let findings = scan "(* archpred-lint: allow exit -- nothing here *)\nlet x = 1\n" in
+  Alcotest.check srules "stale pragma flagged" [ "unused-pragma" ]
+    (rules_of findings)
+
+let test_bad_pragma () =
+  let unknown = scan "(* archpred-lint: allow no-such-rule -- why *)\nlet x = 1\n" in
+  Alcotest.check srules "unknown rule rejected" [ "bad-pragma" ]
+    (rules_of unknown);
+  let no_reason = scan "(* archpred-lint: allow exit *)\nlet f () = exit 1\n" in
+  Alcotest.check srules "reason is mandatory" [ "bad-pragma"; "exit" ]
+    (rules_of no_reason)
+
+let test_pragma_same_line () =
+  let src = "let f () = exit 1 (* archpred-lint: allow exit -- same line *)\n" in
+  Alcotest.check srules "same-line pragma works" [] (rules_of (scan src))
+
+(* --- detection subtleties --- *)
+
+let test_reraise_not_flagged () =
+  Alcotest.check srules "re-raising handler is fine" []
+    (rules_of (scan "let f g = try g () with e -> raise e\n"));
+  Alcotest.check srules "named swallower still flagged" [ "catchall-exn" ]
+    (rules_of (scan "let f g = try g () with e -> ignore e\n"))
+
+let test_float_pattern () =
+  Alcotest.check srules "float pattern flagged" [ "float-lit-eq" ]
+    (rules_of (scan "let f x = match x with 1.0 -> true | _ -> false\n"))
+
+let test_stdlib_qualified () =
+  Alcotest.check srules "Stdlib.exit is still exit" [ "exit" ]
+    (rules_of (scan "let f () = Stdlib.exit 1\n"));
+  Alcotest.check srules "Stdlib.compare is still compare" [ "poly-compare" ]
+    (rules_of (scan "let f a b = Stdlib.compare a b\n"))
+
+let test_mli_present () =
+  Alcotest.check srules "module with .mli passes" []
+    (rules_of (scan ~mli_exists:true "let x = 1\n"))
+
+(* --- severities, exit codes, JSON --- *)
+
+let test_warn_downgrade () =
+  let findings = scan ~warn:[ "float-lit-eq" ] "let f x = x = 0.5\n" in
+  Alcotest.(check int) "no errors" 0 (Lint.errors findings);
+  Alcotest.(check int) "one warning" 1 (Lint.warnings findings)
+
+let test_parse_error_exit_code () =
+  match scan "let x = \n" with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Error.Archpred e ->
+      Alcotest.(check int) "Parse_error maps to exit 5" 5 (Error.exit_code e)
+
+let test_violation_exit_code () =
+  (* The CLI reports violations as Invalid_input; tooling separates
+     "found problems" (2) from "lint crashed on bad source" (5). *)
+  let e = Error.Invalid_input { where = "archpred_lint"; what = "violations" } in
+  Alcotest.(check int) "violations map to exit 2" 2 (Error.exit_code e)
+
+let test_json_shape () =
+  match scan "let f () = exit 1\n" with
+  | [ f ] ->
+      let j = Lint.to_json f in
+      let str k =
+        match Json.member k j with Some (Json.String s) -> s | _ -> "?"
+      in
+      let int k =
+        match Json.member k j with Some (Json.Int i) -> i | _ -> -1
+      in
+      Alcotest.(check string) "event" "finding" (str "event");
+      Alcotest.(check string) "rule" "exit" (str "rule");
+      Alcotest.(check string) "severity" "error" (str "severity");
+      Alcotest.(check string) "file" "fixture.ml" (str "file");
+      Alcotest.(check int) "line" 1 (int "line");
+      (* the record must survive a JSON round-trip through the obs parser *)
+      (match Json.of_string (Json.to_string j) with
+      | Ok j' -> Alcotest.(check bool) "round-trips" true (j = j')
+      | Result.Error m -> Alcotest.fail ("did not re-parse: " ^ m))
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let () =
+  let per_rule =
+    List.concat_map
+      (fun ((rule, _) as fx) ->
+        [
+          Alcotest.test_case (rule ^ " detected") `Quick (test_detects fx);
+          Alcotest.test_case (rule ^ " suppressed") `Quick
+            (test_pragma_suppresses fx);
+        ])
+      fixtures
+  in
+  Alcotest.run "lint"
+    [
+      ("rules", per_rule);
+      ( "engine",
+        [
+          Alcotest.test_case "clean file" `Quick test_clean_file;
+          Alcotest.test_case "rule table" `Quick test_rule_table;
+          Alcotest.test_case "scope gating" `Quick test_scopes;
+          Alcotest.test_case "sanctioned module" `Quick test_sanctioned_module;
+          Alcotest.test_case "unused pragma" `Quick test_unused_pragma;
+          Alcotest.test_case "bad pragma" `Quick test_bad_pragma;
+          Alcotest.test_case "same-line pragma" `Quick test_pragma_same_line;
+          Alcotest.test_case "re-raise allowed" `Quick test_reraise_not_flagged;
+          Alcotest.test_case "float pattern" `Quick test_float_pattern;
+          Alcotest.test_case "Stdlib-qualified" `Quick test_stdlib_qualified;
+          Alcotest.test_case "mli present" `Quick test_mli_present;
+          Alcotest.test_case "warn downgrade" `Quick test_warn_downgrade;
+          Alcotest.test_case "parse-error exit code" `Quick
+            test_parse_error_exit_code;
+          Alcotest.test_case "violation exit code" `Quick
+            test_violation_exit_code;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
+    ]

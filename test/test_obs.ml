@@ -65,7 +65,7 @@ let test_memory_sink_event_shapes () =
   Alcotest.(check bool) "root span path" true
     (has (function Sink.Span { path; _ } -> path = [ "a" ] | _ -> false));
   Alcotest.(check bool) "gauge streamed" true
-    (has (function Sink.Gauge { name; value } -> name = "depth" && value = 2.5 | _ -> false));
+    (has (function Sink.Gauge { name; value } -> name = "depth" && Float.equal value 2.5 | _ -> false));
   Alcotest.(check bool) "counter total at close" true
     (has (function Sink.Counter { name; value } -> name = "hits" && value = 3 | _ -> false))
 

@@ -1,0 +1,140 @@
+(* archpred_lint: lint the repo's OCaml sources for determinism,
+   numerical-safety and purity invariants (see tools/lint/lint.mli).
+
+   Exit codes follow Core.Error's CLI convention so tooling can tell
+   outcomes apart:
+     0  clean (or warnings only)
+     2  lint violations found, or usage  (Invalid_input)
+     4  a source file could not be read  (Io_error)
+     5  a source file failed to parse    (Parse_error)
+
+   With --json, output is JSON-lines: one `finding` record per
+   violation, then one `summary`; fatal errors emit a single `error`
+   record carrying the same class and exit code. *)
+
+module Error = Archpred_obs.Error
+module Json = Archpred_obs.Json
+module Lint = Lint_engine.Lint
+
+let usage =
+  "usage: archpred_lint [--root DIR] [--json] [--warn RULE] [--rules] [FILE...]\n\
+   Scans lib/ bin/ bench/ test/ under --root (default .), or just the\n\
+   given FILEs (scoped by their path prefix). --warn downgrades a rule\n\
+   to a non-fatal warning; --rules prints the rule table and exits."
+
+let bad_usage what = raise (Error.Archpred (Error.Invalid_input { where = "archpred_lint"; what }))
+
+let parse_args argv =
+  let root = ref "." and json = ref false and warn = ref [] in
+  let files = ref [] and list_rules = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        root := dir;
+        go rest
+    | [ "--root" ] -> bad_usage "--root needs a directory argument"
+    | "--json" :: rest ->
+        json := true;
+        go rest
+    | "--warn" :: rule :: rest ->
+        if not (List.mem_assoc rule Lint.rules) then
+          bad_usage ("--warn: unknown rule `" ^ rule ^ "`");
+        warn := rule :: !warn;
+        go rest
+    | [ "--warn" ] -> bad_usage "--warn needs a rule argument"
+    | "--rules" :: rest ->
+        list_rules := true;
+        go rest
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | arg :: rest ->
+        if String.length arg > 0 && arg.[0] = '-' then
+          bad_usage ("unknown option " ^ arg);
+        files := arg :: !files;
+        go rest
+  in
+  go (List.tl (Array.to_list argv));
+  (!root, !json, !warn, List.rev !files, !list_rules)
+
+let emit_json j = print_endline (Json.to_string j)
+
+let report_error ~json e =
+  if json then
+    emit_json
+      (Json.Obj
+         [
+           ("event", Json.String "error");
+           ( "class",
+             Json.String
+               (match e with
+               | Error.Invalid_input _ -> "invalid_input"
+               | Error.Invalid_env _ -> "invalid_env"
+               | Error.Io_error _ -> "io_error"
+               | Error.Parse_error _ -> "parse_error"
+               | Error.Infeasible _ -> "infeasible") );
+           ("message", Json.String (Error.to_string e));
+           ("exit_code", Json.Int (Error.exit_code e));
+         ])
+  else begin
+    let msg = Error.to_string e in
+    let prefixed =
+      String.length msg >= 13 && String.equal (String.sub msg 0 13) "archpred_lint"
+    in
+    Printf.eprintf "%s%s\n" (if prefixed then "" else "archpred_lint: ") msg
+  end;
+  exit (Error.exit_code e)
+
+let () =
+  let root, json, warn, files, list_rules =
+    try parse_args Sys.argv
+    with Error.Archpred e -> report_error ~json:false e
+  in
+  if list_rules then begin
+    List.iter (fun (id, descr) -> Printf.printf "%-14s %s\n" id descr) Lint.rules;
+    exit 0
+  end;
+  match
+    Error.guard (fun () ->
+        if files = [] then Lint.scan_tree ~warn ~root ()
+        else
+          List.concat_map
+            (fun rel ->
+              let scope =
+                match Lint.scope_of_rel rel with
+                | Some s -> s
+                | None ->
+                    Error.invalid_input ~where:"archpred_lint"
+                      (rel
+                     ^ ": cannot infer scope (path must start with \
+                        lib/, bin/, bench/ or test/)")
+              in
+              Lint.scan_file ~scope ~warn ~root rel)
+            files)
+  with
+  | Result.Error e -> report_error ~json e
+  | Ok findings ->
+      let errors = Lint.errors findings and warns = Lint.warnings findings in
+      if json then begin
+        List.iter (fun f -> emit_json (Lint.to_json f)) findings;
+        emit_json
+          (Json.Obj
+             [
+               ("event", Json.String "summary");
+               ("errors", Json.Int errors);
+               ("warnings", Json.Int warns);
+             ])
+      end
+      else begin
+        List.iter
+          (fun f -> Format.printf "%a@." Lint.pp_finding f)
+          findings;
+        if errors > 0 || warns > 0 then
+          Printf.printf "archpred_lint: %d error(s), %d warning(s)\n" errors
+            warns
+      end;
+      if errors > 0 then
+        exit
+          (Error.exit_code
+             (Error.Invalid_input
+                { where = "archpred_lint"; what = "violations" }))

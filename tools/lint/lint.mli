@@ -1,0 +1,83 @@
+(** [archpred-lint]: repo-specific static analysis over the OCaml AST.
+
+    The paper's methodology requires a trained model to be a pure
+    function of (space, seed, n, response): parallel training and
+    checkpoint resume are tested bit-identical, and one stray
+    [Random.self_init], polymorphic [compare] on a float-bearing value,
+    or unordered [Hashtbl.iter] in a result path silently breaks that
+    promise.  This module parses every [.ml]/[.mli] with
+    [compiler-libs.common] ([Parse] + [Ast_iterator]) and enforces the
+    determinism / numerical-safety / purity rules listed in {!rules}.
+
+    Violations can be suppressed per site with a pragma comment on the
+    same line or the line directly above:
+
+    {v (* archpred-lint: allow <rule> -- reason *) v}
+
+    The reason text is mandatory, unknown rule names are rejected, and a
+    pragma that suppresses nothing is itself reported (rule
+    [unused-pragma]) so stale annotations cannot accumulate. *)
+
+type severity = Error | Warn
+
+type finding = {
+  rule : string;
+  severity : severity;
+  file : string;  (** path as given to the scanner *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+(** Which top-level directory a file belongs to; decides which rules
+    apply (e.g. wall-clock reads are legal in [bench/], [exit] is legal
+    in [bin/]). *)
+type scope = Lib | Bin | Bench | Test
+
+val scope_of_rel : string -> scope option
+(** Classify a repo-relative path ["lib/…"], ["bin/…"], ["bench/…"],
+    ["test/…"]; [None] for anything else. *)
+
+val rules : (string * string) list
+(** [(id, one-line description)] for every enforced rule, in a stable
+    order (drives the README table and pragma validation). *)
+
+val scan_string :
+  scope:scope ->
+  ?rel:string ->
+  ?mli_exists:bool ->
+  ?warn:string list ->
+  filename:string ->
+  string ->
+  finding list
+(** Lint one compilation unit given as a string.  [filename] is used for
+    diagnostics and to decide implementation vs interface syntax;
+    [rel] (default [filename]) is the repo-relative path used for
+    sanctioned-module checks; [mli_exists] feeds the [missing-mli] rule
+    (ignored unless [scope = Lib] and [filename] ends in [.ml]);
+    rules listed in [warn] are downgraded from [Error] to [Warn].
+    Findings come back sorted by (line, col, rule).
+
+    @raise Archpred_obs.Error.Archpred [Parse_error] if the source does
+    not parse. *)
+
+val scan_file :
+  scope:scope -> ?warn:string list -> root:string -> string -> finding list
+(** [scan_file ~scope ~root rel] reads [root ^ "/" ^ rel] and lints it;
+    for [lib/] implementations the sibling [.mli] existence check is
+    performed on disk.
+    @raise Archpred_obs.Error.Archpred [Io_error] if unreadable. *)
+
+val scan_tree : ?warn:string list -> root:string -> unit -> finding list
+(** Walk [lib/], [bin/], [bench/], [test/] under [root] (deterministic
+    order; skipping [_*], dot-dirs and [lint_fixtures/]) and lint every
+    [.ml]/[.mli].  Findings are sorted by (file, line, col, rule). *)
+
+val errors : finding list -> int
+val warnings : finding list -> int
+
+val to_json : finding -> Archpred_obs.Json.t
+(** One finding as a JSON object (for the JSON-lines report mode). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Human rendering: [file:line:col: [rule] message]. *)

@@ -87,13 +87,8 @@ let fixture_predictor =
          ~responses:(Lazy.force fixture_responses)
          ()
      in
-     {
-       Core.Predictor.space = Core.Paper_space.space;
-       network = selection.Rbf.Selection.network;
-       tree = Some tree;
-       p_min = 1;
-       alpha = 7.;
-     })
+     Core.Predictor.make ~space:Core.Paper_space.space
+       ~network:selection.Rbf.Selection.network ~tree ~p_min:1 ~alpha:7. ())
 
 (* One micro-benchmark per table/figure: the kernel that dominates the
    experiment's cost. *)
@@ -134,6 +129,29 @@ let micro_tests =
       let predictor = Lazy.force fixture_predictor in
       let p = Array.make 9 0.5 in
       fun () -> ignore (Core.Predictor.predict predictor p) );
+    (* The same model through the batched kernel, 256 points per run:
+       divide by 256 for the per-point figure the serve report tracks. *)
+    ( "fig3_network_eval_batch256",
+      let predictor = Lazy.force fixture_predictor in
+      let rng = Stats.Rng.create 17 in
+      let points =
+        Array.init 256 (fun _ -> Array.init 9 (fun _ -> Stats.Rng.unit_float rng))
+      in
+      fun () -> ignore (Core.Predictor.predict_batch predictor points) );
+    (* A warm memo hit: the short-circuit path serving traffic sees. *)
+    ( "serve_memo_hit",
+      let predictor = Lazy.force fixture_predictor in
+      let cache =
+        Core.Memo.create ~capacity:16 ~space:Core.Paper_space.space
+          ~sample_size:90 ()
+      in
+      let p =
+        Design.Space.snap Core.Paper_space.space ~sample_size:90
+          (Array.make 9 0.5)
+      in
+      let points = [| p |] in
+      ignore (Core.Predictor.predict_batch ~cache predictor points);
+      fun () -> ignore (Core.Predictor.predict_batch ~cache predictor points) );
     ( "fig4_lhs_sample_n90",
       let rng = fixture_rng () in
       fun () -> ignore (Design.Lhs.sample rng Core.Paper_space.space ~n:90) );
@@ -188,25 +206,45 @@ let micro_tests =
   ]
 
 (* Machine-readable results for regression tracking.  The group prefix
-   Bechamel adds ("archpred/") is stripped so names match micro_tests. *)
+   Bechamel adds ("archpred/") is stripped so names match micro_tests.
+   Carries the same metadata stamp as BENCH_serve.json (domains,
+   git describe, SIMD level) plus the batch size each bench runs at. *)
+let batch_size_of name =
+  match String.rindex_opt name '_' with
+  | Some i
+    when String.length name > i + 6
+         && String.equal (String.sub name (i + 1) 5) "batch" -> (
+      match int_of_string_opt (String.sub name (i + 6) (String.length name - i - 6)) with
+      | Some b -> b
+      | None -> 1)
+  | _ -> 1
+
 let write_bench_json measured =
+  let module Json = Archpred_obs.Json in
   let path = "BENCH_parallel.json" in
-  let oc = open_out path in
   let strip name =
     match String.index_opt name '/' with
     | Some i -> String.sub name (i + 1) (String.length name - i - 1)
     | None -> name
   in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"results\": [\n"
-    (Stats.Parallel.default_domains ());
-  let n = List.length measured in
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.3f }%s\n"
-        (strip name) ns
-        (if i = n - 1 then "" else ","))
-    measured;
-  output_string oc "  ]\n}\n";
+  let results =
+    List.map
+      (fun (name, ns) ->
+        let name = strip name in
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("ns_per_run", Json.Float ns);
+            ("batch_size", Json.Int (batch_size_of name));
+          ])
+      measured
+  in
+  let report =
+    Json.Obj (Core.Serve.metadata () @ [ ("results", Json.List results) ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string report);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
@@ -249,6 +287,41 @@ let run_micro () =
       rows
   in
   write_bench_json measured
+
+(* ------------------------------------------------------------------ *)
+(* Serving load test: the batched-kernel throughput report.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep batch sizes over the same total prediction count so the rows
+   are comparable; BENCH_serve.json is the committed record of the
+   batched kernel's speedup over the scalar reference. *)
+let run_serve () =
+  let predictor = Lazy.force fixture_predictor in
+  let total = 65_536 in
+  let results =
+    List.map
+      (fun batch_size ->
+        let config =
+          {
+            Core.Serve.default with
+            Core.Serve.batch_size;
+            batches = total / batch_size;
+          }
+        in
+        let r = Core.Serve.run ~predictor config in
+        Printf.printf
+          "batch %4d: %8.1f ns/pt batched (%5.1f ns/pt raw kernel, %8.1f \
+           ns/pt scalar, %6.2fx), %6.1f ns/pt cached, hit rate %.3f\n%!"
+          batch_size r.Core.Serve.batch_ns_per_point
+          r.Core.Serve.kernel_ns_per_point r.Core.Serve.scalar_ns_per_point
+          r.Core.Serve.speedup_vs_scalar r.Core.Serve.cached_ns_per_point
+          r.Core.Serve.hit_rate;
+        r)
+      [ 1; 16; 64; 256 ]
+  in
+  let path = "BENCH_serve.json" in
+  Core.Serve.write_json ~path ~meta:(Core.Serve.metadata ()) results;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: the crash-safety journal must not tax training. *)
@@ -319,6 +392,10 @@ let () =
   if List.mem "--crashsafe" args then (
     run_crashsafe ();
     (* archpred-lint: allow exit -- CLI early-exit after the crashsafe-only run *)
+    exit 0);
+  if List.mem "--serve" args then (
+    run_serve ();
+    (* archpred-lint: allow exit -- CLI early-exit after the serve-only run *)
     exit 0);
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in

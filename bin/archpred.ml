@@ -5,6 +5,7 @@
      simulate     run the cycle-level simulator on one benchmark/config
      sample       draw a discrepancy-optimised latin hypercube sample
      train        build an RBF CPI model for a benchmark and report accuracy
+     serve        batched-prediction load test against a saved model
      search       model-driven search for the best design point
      reproduce    regenerate the paper's tables and figures
 
@@ -414,6 +415,99 @@ let predict_cmd =
        ~doc:"Predict the response at a configuration using a saved model")
     Term.(const run $ model_t $ point_t $ trace_t $ metrics_t)
 
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let model_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file from `train --save'.")
+  in
+  let batch_size_t =
+    Arg.(
+      value
+      & opt int Core.Serve.default.Core.Serve.batch_size
+      & info [ "batch-size" ] ~docv:"N" ~doc:"Points per predict_batch call.")
+  in
+  let batches_t =
+    Arg.(
+      value
+      & opt int Core.Serve.default.Core.Serve.batches
+      & info [ "batches" ] ~docv:"N" ~doc:"Batches in the query stream.")
+  in
+  let distinct_t =
+    Arg.(
+      value
+      & opt int Core.Serve.default.Core.Serve.distinct_points
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:
+            "Distinct on-grid query points in the pool; the key-reuse \
+             factor is predictions / $(docv).")
+  in
+  let grid_t =
+    Arg.(
+      value
+      & opt int Core.Serve.default.Core.Serve.grid_sample_size
+      & info [ "grid" ] ~docv:"N"
+          ~doc:"Levels per per-sample axis when snapping pool points.")
+  in
+  let capacity_t =
+    Arg.(
+      value
+      & opt int Core.Serve.default.Core.Serve.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"LRU memo capacity.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the archpred-serve-v1 JSON report to FILE.")
+  in
+  let run model batch_size batches distinct grid capacity seed out trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let predictor =
+      Obs.with_span obs "serve.load" @@ fun () -> Core.Persist.load model
+    in
+    let config =
+      {
+        Core.Serve.batch_size;
+        batches;
+        distinct_points = distinct;
+        grid_sample_size = grid;
+        seed;
+        cache_capacity = capacity;
+      }
+    in
+    let r = Core.Serve.run ~obs ~predictor config in
+    Format.printf
+      "%d predictions (batch %d, key reuse %.0fx)@.\
+      \  batched  %8.1f ns/pt  (%.2fx vs scalar, %.2fM pred/s)@.\
+      \  kernel   %8.1f ns/pt@.\
+      \  scalar   %8.1f ns/pt@.\
+      \  cached   %8.1f ns/pt  (hit rate %.3f)@."
+      r.Core.Serve.predictions batch_size r.Core.Serve.key_reuse
+      r.Core.Serve.batch_ns_per_point r.Core.Serve.speedup_vs_scalar
+      (r.Core.Serve.predictions_per_sec /. 1e6)
+      r.Core.Serve.kernel_ns_per_point r.Core.Serve.scalar_ns_per_point
+      r.Core.Serve.cached_ns_per_point r.Core.Serve.hit_rate;
+    match out with
+    | Some path ->
+        Core.Serve.write_json ~path ~meta:(Core.Serve.metadata ()) [ r ];
+        Format.printf "report written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batched-prediction load test against a saved model and \
+          report throughput, per-point latency and memo hit rate")
+    Term.(
+      const run $ model_t $ batch_size_t $ batches_t $ distinct_t $ grid_t
+      $ capacity_t $ seed_t $ out_t $ trace_t $ metrics_t)
+
 (* ---------- search ---------- *)
 
 let search_cmd =
@@ -556,6 +650,7 @@ let () =
             sample_cmd;
             train_cmd;
             predict_cmd;
+            serve_cmd;
             search_cmd;
             sensitivity_cmd;
             reproduce_cmd;

@@ -52,8 +52,8 @@ let run ?(initial = 30) ?(batch = 15) ?(rounds = 4) ?(pool = 500) ~rng ~space
   let cv_of () =
     let cv =
       Crossval.k_fold ~k:5 ~rng:(Stats.Rng.split rng)
-        ~train:(fun ~points ~responses c ->
-          (Crossval.rbf_trainer ~dim ()) ~points ~responses c)
+        ~train:(fun ~points ~responses held ->
+          (Crossval.rbf_trainer ~dim ()) ~points ~responses held)
         ~points:!points ~responses:!responses ()
     in
     cv
@@ -93,13 +93,10 @@ let run ?(initial = 30) ?(batch = 15) ?(rounds = 4) ?(pool = 500) ~rng ~space
   let trained =
     {
       Build.predictor =
-        {
-          Predictor.space;
-          network = tune.Tune.selection.Archpred_rbf.Selection.network;
-          tree = Some tune.Tune.tree;
-          p_min = tune.Tune.p_min;
-          alpha = tune.Tune.alpha;
-        };
+        Predictor.make ~space
+          ~network:tune.Tune.selection.Archpred_rbf.Selection.network
+          ~tree:tune.Tune.tree ~p_min:tune.Tune.p_min ~alpha:tune.Tune.alpha
+          ();
       sample = !points;
       sample_responses = !responses;
       discrepancy = Design.Discrepancy.l2_star !points;

@@ -148,13 +148,9 @@ let train ?(config = Config.default) ~space ~response () =
   Obs.gauge obs "pool.queue_depth"
     (float_of_int (Stats.Parallel.queue_depth ()));
   let predictor =
-    {
-      Predictor.space;
-      network = tune.Tune.selection.Archpred_rbf.Selection.network;
-      tree = Some tune.Tune.tree;
-      p_min = tune.Tune.p_min;
-      alpha = tune.Tune.alpha;
-    }
+    Predictor.make ~space
+      ~network:tune.Tune.selection.Archpred_rbf.Selection.network
+      ~tree:tune.Tune.tree ~p_min:tune.Tune.p_min ~alpha:tune.Tune.alpha ()
   in
   {
     predictor;

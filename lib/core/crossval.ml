@@ -32,15 +32,20 @@ let k_fold ?(k = 5) ~rng ~train ~points ~responses () =
             ~points:(Array.map (fun i -> points.(i)) train_idx)
             ~responses:(Array.map (fun i -> responses.(i)) train_idx)
         in
+        let held = Array.of_list held_out in
+        (* one batched prediction per fold instead of a call per point *)
+        let preds = predict (Array.map (fun i -> points.(i)) held) in
+        if Array.length preds <> Array.length held then
+          reject "trainer returned wrong number of predictions";
         let errs =
-          List.map
-            (fun i ->
-              let p = predict points.(i) in
+          Array.mapi
+            (fun rank i ->
+              let p = preds.(rank) in
               residuals.(i) <- p -. responses.(i);
               100. *. abs_float (p -. responses.(i)) /. abs_float responses.(i))
-            held_out
+            held
         in
-        Archpred_stats.Descriptive.mean (Array.of_list errs))
+        Archpred_stats.Descriptive.mean errs)
   in
   {
     fold_errors;
@@ -54,4 +59,5 @@ let rbf_trainer ?(p_min = 1) ?(alpha = 7.) ~dim () ~points ~responses =
   let selection =
     Rbf.Selection.select ~tree ~candidates ~points ~responses ()
   in
-  Rbf.Network.eval selection.Rbf.Selection.network
+  let packed = Rbf.Network.pack selection.Rbf.Selection.network in
+  fun held_out -> Rbf.Network.eval_batch packed held_out

@@ -17,18 +17,21 @@ val k_fold :
   train:
     (points:Archpred_design.Space.point array ->
      responses:float array ->
-     Archpred_design.Space.point ->
-     float) ->
+     Archpred_design.Space.point array ->
+     float array) ->
   points:Archpred_design.Space.point array ->
   responses:float array ->
   unit ->
   result
 (** [k_fold ~train ~points ~responses ()] shuffles the sample into [k]
     (default 5) folds; for each fold, [train] fits on the remaining points
-    and predicts the held-out ones.  [train ~points ~responses] returns the
-    prediction function of a model fitted to that subsample.  Raises
-    [Archpred (Invalid_input _)] if the sample has fewer than [k] points
-    or responses contain zeros (percentage errors are undefined). *)
+    and predicts the held-out ones.  [train ~points ~responses] returns a
+    *batch* prediction function of a model fitted to that subsample: it
+    receives every held-out point of the fold at once (one vectorised
+    pass for RBF models) and must return one prediction per point, in
+    order.  Raises [Archpred (Invalid_input _)] if the sample has fewer
+    than [k] points or responses contain zeros (percentage errors are
+    undefined). *)
 
 val rbf_trainer :
   ?p_min:int ->
@@ -37,7 +40,8 @@ val rbf_trainer :
   unit ->
   points:Archpred_design.Space.point array ->
   responses:float array ->
-  Archpred_design.Space.point ->
-  float
+  Archpred_design.Space.point array ->
+  float array
 (** A ready-made trainer for {!k_fold}: regression tree + RBF selection
-    with fixed method parameters (defaults p_min 1, alpha 7). *)
+    with fixed method parameters (defaults p_min 1, alpha 7); the
+    returned closure predicts through the packed batch kernel. *)

@@ -1,0 +1,203 @@
+module Design = Archpred_design
+
+(* Quantized-key LRU cache over the design grid.
+
+   The design space has finitely many levels per axis, so an on-grid
+   point [u] has an exact integer representation: the level index
+   [k = round (u * (l - 1))] per dimension.  Keys are those index
+   tuples, encoded as fixed-width byte strings.
+
+   Bit-identity guard: a key is only issued when reconstructing the
+   canonical coordinate [k /. (l - 1)] from the index reproduces the
+   query coordinate *bitwise* (this matches Parameter.snap and
+   Parameter.level_coordinates, which produce grid points exactly that
+   way).  Off-grid queries — or grids too fine for the 16-bit-per-axis
+   key — are reported as [Bypass] and evaluated directly, never cached,
+   so a cached predictor can never return a value the scalar path
+   would not have produced for the same float input.
+
+   Eviction is deterministic: a doubly-linked recency list, evicting
+   the least recently used entry; no hashing order is ever observed. *)
+
+type node = {
+  n_key : string;
+  n_levels : int array;
+  mutable n_value : float;
+  mutable n_prev : node option;  (* toward MRU *)
+  mutable n_next : node option;  (* toward LRU *)
+}
+
+type key = { k_str : string; k_levels : int array }
+
+type t = {
+  level_counts : int array;
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable size : int;
+  obs : Archpred_obs.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable bypasses : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  bypasses : int;
+  size : int;
+  capacity : int;
+}
+
+type lookup = Hit of float | Miss of key | Bypass
+
+let max_level = 0xffff (* two bytes per axis in the encoded key *)
+
+let create ?(obs = Archpred_obs.null) ~capacity ~space ~sample_size () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity < 1";
+  let level_counts =
+    Array.map
+      (fun p -> Design.Parameter.level_count p ~sample_size)
+      (Design.Space.parameters space)
+  in
+  {
+    level_counts;
+    capacity;
+    table = Hashtbl.create (min capacity 4096);
+    head = None;
+    tail = None;
+    size = 0;
+    obs;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    bypasses = 0;
+  }
+
+let key_of t point =
+  let dim = Array.length t.level_counts in
+  if Array.length point <> dim then None
+  else begin
+    let levels = Array.make dim 0 in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < dim do
+      let lc = t.level_counts.(!k) in
+      let u = point.(!k) in
+      let last = float_of_int (lc - 1) in
+      let idx = int_of_float (Float.round (u *. last)) in
+      if
+        idx < 0 || idx >= lc
+        || lc - 1 > max_level
+        (* canonical-coordinate check: cache only what the grid
+           reproduces bitwise *)
+        || not (Int64.equal
+                  (Int64.bits_of_float (float_of_int idx /. last))
+                  (Int64.bits_of_float u))
+      then ok := false
+      else begin
+        levels.(!k) <- idx;
+        incr k
+      end
+    done;
+    if not !ok then None
+    else begin
+      let b = Bytes.create (2 * dim) in
+      Array.iteri
+        (fun i idx ->
+          Bytes.unsafe_set b (2 * i) (Char.unsafe_chr (idx land 0xff));
+          Bytes.unsafe_set b ((2 * i) + 1) (Char.unsafe_chr ((idx lsr 8) land 0xff)))
+        levels;
+      Some { k_str = Bytes.unsafe_to_string b; k_levels = levels }
+    end
+  end
+
+(* recency-list surgery *)
+
+let unlink t node =
+  (match node.n_prev with
+  | Some p -> p.n_next <- node.n_next
+  | None -> t.head <- node.n_next);
+  (match node.n_next with
+  | Some nx -> nx.n_prev <- node.n_prev
+  | None -> t.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front t node =
+  node.n_prev <- None;
+  node.n_next <- t.head;
+  (match t.head with Some h -> h.n_prev <- Some node | None -> ());
+  t.head <- Some node;
+  match t.tail with None -> t.tail <- Some node | Some _ -> ()
+
+let lookup t point =
+  match key_of t point with
+  | None ->
+      t.bypasses <- t.bypasses + 1;
+      Archpred_obs.incr t.obs "memo.bypasses";
+      Bypass
+  | Some key -> (
+      match Hashtbl.find_opt t.table key.k_str with
+      | Some node ->
+          t.hits <- t.hits + 1;
+          Archpred_obs.incr t.obs "memo.hits";
+          unlink t node;
+          push_front t node;
+          Hit node.n_value
+      | None ->
+          t.misses <- t.misses + 1;
+          Archpred_obs.incr t.obs "memo.misses";
+          Miss key)
+
+let insert t key value =
+  match Hashtbl.find_opt t.table key.k_str with
+  | Some node ->
+      (* refresh: same grid point always maps to the same model value,
+         but move it to the front and keep the latest value anyway *)
+      node.n_value <- value;
+      unlink t node;
+      push_front t node
+  | None ->
+      if t.size >= t.capacity then begin
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.n_key;
+            t.size <- t.size - 1;
+            t.evictions <- t.evictions + 1;
+            Archpred_obs.incr t.obs "memo.evictions"
+        | None -> ()
+      end;
+      let node =
+        {
+          n_key = key.k_str;
+          n_levels = Array.copy key.k_levels;
+          n_value = value;
+          n_prev = None;
+          n_next = None;
+        }
+      in
+      Hashtbl.replace t.table key.k_str node;
+      push_front t node;
+      t.size <- t.size + 1
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    bypasses = t.bypasses;
+    size = t.size;
+    capacity = t.capacity;
+  }
+
+let contents t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((Array.copy node.n_levels, node.n_value) :: acc) node.n_next
+  in
+  walk [] t.head

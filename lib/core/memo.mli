@@ -1,0 +1,64 @@
+(** LRU memoisation of predictions, keyed by quantized design points.
+
+    The design space has finitely many levels per axis (Table 1), so
+    on-grid points — which is what sampling plans, sweeps and realistic
+    serving traffic produce — have exact small-integer keys: the level
+    index per dimension.  The cache maps those keys to predicted
+    responses with deterministic least-recently-used eviction.
+
+    Bit-identity: a point is only cached when its coordinates are
+    *bitwise* reproducible from the level grid (the canonical
+    [k /. (l - 1)] form that {!Archpred_design.Parameter.snap}
+    produces).  Anything else is a {!Bypass}: evaluated directly, never
+    cached.  Cached and uncached predictions are therefore always
+    bit-identical.
+
+    Counters (hits / misses / evictions / bypasses) are tracked both in
+    {!stats} and on the {!Archpred_obs} handle as [memo.hits],
+    [memo.misses], [memo.evictions] and [memo.bypasses]. *)
+
+type t
+
+type key
+(** Issued by a [Miss]; pass it back to {!insert} with the computed
+    value. *)
+
+type lookup =
+  | Hit of float  (** cached value; entry refreshed to most recent *)
+  | Miss of key  (** cacheable point, not yet present *)
+  | Bypass  (** off-grid point: evaluate directly, do not cache *)
+
+val create :
+  ?obs:Archpred_obs.t ->
+  capacity:int ->
+  space:Archpred_design.Space.t ->
+  sample_size:int ->
+  unit ->
+  t
+(** A cache for points on the grid of [space] at [sample_size] levels
+    per [Per_sample] axis (matching [Space.snap ~sample_size]).
+    Raises [Invalid_argument] if [capacity < 1]. *)
+
+val lookup : t -> Archpred_design.Space.point -> lookup
+(** Classify a query point, counting the outcome.  A [Hit] refreshes
+    the entry's recency. *)
+
+val insert : t -> key -> float -> unit
+(** Record the value for a missed key, evicting the least recently
+    used entry when the cache is full.  Inserting an existing key
+    refreshes it. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  bypasses : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : t -> stats
+
+val contents : t -> (int array * float) list
+(** Entries in most-to-least recently used order, as (level indices,
+    value) pairs — the observable recency order tests assert against. *)

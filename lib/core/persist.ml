@@ -204,7 +204,8 @@ let of_string text =
       }
     in
     Array.iter Network.check_center network.Network.centers;
-    { Predictor.space; network; tree = None; p_min; alpha }
+    (* [make] packs the network into batch-kernel storage at load time *)
+    Predictor.make ~space ~network ~p_min ~alpha ()
   with Parse (line, msg) ->
     Archpred_obs.Error.parse_error ~where:"Persist.of_string" ~line msg
 

@@ -5,10 +5,14 @@ module Error_metrics = Archpred_stats.Error_metrics
 type t = {
   space : Space.t;
   network : Network.t;
+  packed : Network.packed;
   tree : Archpred_regtree.Tree.t option;
   p_min : int;
   alpha : float;
 }
+
+let make ~space ~network ?tree ~p_min ~alpha () =
+  { space; network; packed = Network.pack network; tree; p_min; alpha }
 
 let predict t point =
   Space.validate_point t.space point;
@@ -17,6 +21,45 @@ let predict t point =
 let predict_natural t values = predict t (Space.encode t.space values)
 let n_centers t = Array.length t.network.Network.centers
 
+let predict_batch ?(obs = Archpred_obs.null) ?cache t points =
+  let n = Array.length points in
+  Space.validate_points t.space points;
+  Archpred_obs.incr obs "predict.batches";
+  Archpred_obs.count obs "predict.points" n;
+  match cache with
+  | None -> Network.eval_batch t.packed points
+  | Some c ->
+      let out = Array.make n 0. in
+      let keys = Array.make n None in
+      let miss_rev = ref [] in
+      Array.iteri
+        (fun i p ->
+          match Memo.lookup c p with
+          | Memo.Hit v -> out.(i) <- v
+          | Memo.Miss k ->
+              keys.(i) <- Some k;
+              miss_rev := i :: !miss_rev
+          | Memo.Bypass -> miss_rev := i :: !miss_rev)
+        points;
+      (match !miss_rev with
+      | [] -> ()
+      | miss ->
+          let idx = Array.of_list (List.rev miss) in
+          let vals =
+            Network.eval_batch t.packed (Array.map (fun i -> points.(i)) idx)
+          in
+          Array.iteri
+            (fun pos i ->
+              out.(i) <- vals.(pos);
+              match keys.(i) with
+              | Some k -> Memo.insert c k vals.(pos)
+              | None -> ())
+            idx);
+      out
+
+let predict_natural_batch ?obs ?cache t values =
+  predict_batch ?obs ?cache t (Array.map (Space.encode t.space) values)
+
 let errors_on t ~points ~actual =
-  let predicted = Array.map (predict t) points in
+  let predicted = predict_batch t points in
   Error_metrics.evaluate ~actual ~predicted

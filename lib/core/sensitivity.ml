@@ -15,31 +15,46 @@ let main_effects ?(steps = 9) predictor =
   let dim = Design.Space.dimension predictor.Predictor.space in
   let names = names predictor in
   let base = Array.make dim 0.5 in
+  (* all dim * steps sweep points in one batched evaluation *)
+  let queries =
+    Array.init (dim * steps) (fun idx ->
+        let k = idx / steps and i = idx mod steps in
+        let p = Array.copy base in
+        p.(k) <- float_of_int i /. float_of_int (steps - 1);
+        p)
+  in
+  let values = Predictor.predict_batch predictor queries in
   List.init dim (fun k ->
-      let values =
-        Array.init steps (fun i ->
-            let p = Array.copy base in
-            p.(k) <- float_of_int i /. float_of_int (steps - 1);
-            Predictor.predict predictor p)
-      in
-      let lo = Array.fold_left Float.min values.(0) values in
-      let hi = Array.fold_left Float.max values.(0) values in
+      let v = Array.sub values (k * steps) steps in
+      let lo = Array.fold_left Float.min v.(0) v in
+      let hi = Array.fold_left Float.max v.(0) v in
       { name = names.(k); dim = k; magnitude = hi -. lo })
   |> sort_effects
 
 let total_effects ?(samples = 512) ~rng predictor =
   let dim = Design.Space.dimension predictor.Predictor.space in
   let names = names predictor in
-  let acc = Array.make dim 0. in
-  for _ = 1 to samples do
+  (* Build the full query set first — base point then its dim one-axis
+     perturbations, per sample — drawing from [rng] in exactly the
+     order the eval-interleaved loop used to, then evaluate everything
+     in one batch and accumulate in the original order. *)
+  let stride = dim + 1 in
+  let queries = Array.make (samples * stride) [||] in
+  for s = 0 to samples - 1 do
     let p = Array.init dim (fun _ -> Rng.unit_float rng) in
-    let y = Predictor.predict predictor p in
+    queries.(s * stride) <- p;
     for k = 0 to dim - 1 do
-      let saved = p.(k) in
-      p.(k) <- Rng.unit_float rng;
-      let y' = Predictor.predict predictor p in
-      p.(k) <- saved;
-      let d = y' -. y in
+      let q = Array.copy p in
+      q.(k) <- Rng.unit_float rng;
+      queries.((s * stride) + 1 + k) <- q
+    done
+  done;
+  let values = Predictor.predict_batch predictor queries in
+  let acc = Array.make dim 0. in
+  for s = 0 to samples - 1 do
+    let y = values.(s * stride) in
+    for k = 0 to dim - 1 do
+      let d = values.((s * stride) + 1 + k) -. y in
       acc.(k) <- acc.(k) +. (d *. d)
     done
   done;
@@ -55,13 +70,17 @@ let interaction predictor ~dim1 ~dim2 =
   let dim = Design.Space.dimension predictor.Predictor.space in
   if dim1 = dim2 || dim1 < 0 || dim2 < 0 || dim1 >= dim || dim2 >= dim then
     invalid_arg "Sensitivity.interaction: bad dimensions";
-  let at u1 u2 =
+  let corner u1 u2 =
     let p = Array.make dim 0.5 in
     p.(dim1) <- u1;
     p.(dim2) <- u2;
-    Predictor.predict predictor p
+    p
   in
-  abs_float (at 1. 1. -. at 1. 0. -. at 0. 1. +. at 0. 0.)
+  let v =
+    Predictor.predict_batch predictor
+      [| corner 1. 1.; corner 1. 0.; corner 0. 1.; corner 0. 0. |]
+  in
+  abs_float (v.(0) -. v.(1) -. v.(2) +. v.(3))
 
 let top_interactions ?(count = 10) predictor =
   let dim = Design.Space.dimension predictor.Predictor.space in

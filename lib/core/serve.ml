@@ -1,0 +1,223 @@
+module Design = Archpred_design
+module Stats = Archpred_stats
+module Rbf = Archpred_rbf
+module Obs = Archpred_obs
+module Json = Archpred_obs.Json
+
+(* Reproducible serving load test: the measurement harness behind
+   BENCH_serve.json and the `archpred serve` / `bench --serve` entry
+   points.
+
+   A seeded synthetic query stream draws from a pool of
+   [distinct_points] on-grid design points (the key-reuse factor is
+   predictions / distinct_points), then the same stream is timed
+   through three paths:
+
+   - the scalar reference, [Predictor.predict], one call per point;
+   - the batched kernel through the public [Predictor.predict_batch];
+   - [predict_batch] again with the quantized LRU memo in front.
+
+   A fourth number, [kernel_ns_per_point], times [Batch_kernel.eval_into]
+   over pre-marshalled query buffers: the raw zero-allocation kernel
+   with the array-of-points marshalling excluded.
+
+   The stream and therefore every predicted value is deterministic
+   ([checksum] anchors that); the timings are measurements and vary
+   run to run. *)
+
+type config = {
+  batch_size : int;
+  batches : int;
+  distinct_points : int;  (** pool of unique on-grid query points *)
+  grid_sample_size : int;  (** levels per [Per_sample] axis when snapping *)
+  seed : int;
+  cache_capacity : int;
+}
+
+let default =
+  {
+    batch_size = 256;
+    batches = 256;
+    distinct_points = 512;
+    grid_sample_size = 90;
+    seed = 7;
+    cache_capacity = 4096;
+  }
+
+type result = {
+  config : config;
+  predictions : int;
+  key_reuse : float;
+  scalar_ns_per_point : float;
+  batch_ns_per_point : float;
+  kernel_ns_per_point : float;
+  cached_ns_per_point : float;
+  predictions_per_sec : float;
+  speedup_vs_scalar : float;
+  hit_rate : float;
+  cache : Memo.stats;
+  checksum : float;
+}
+
+let now () = Int64.to_float (Obs.now_ns ())
+
+let run ?(obs = Obs.null) ~predictor config =
+  let reject what = Obs.Error.invalid_input ~where:"Serve.run" what in
+  if config.batch_size < 1 then reject "batch_size < 1";
+  if config.batches < 1 then reject "batches < 1";
+  if config.distinct_points < 1 then reject "distinct_points < 1";
+  if config.cache_capacity < 1 then reject "cache_capacity < 1";
+  Obs.with_span obs "serve.load_test" @@ fun () ->
+  let space = predictor.Predictor.space in
+  let dim = Design.Space.dimension space in
+  let rng = Stats.Rng.create config.seed in
+  let pool =
+    Array.init config.distinct_points (fun _ ->
+        Design.Space.snap space ~sample_size:config.grid_sample_size
+          (Array.init dim (fun _ -> Stats.Rng.unit_float rng)))
+  in
+  let total = config.batches * config.batch_size in
+  let stream =
+    Array.init total (fun _ -> Stats.Rng.int rng config.distinct_points)
+  in
+  (* the query stream is materialised up front: the load test measures
+     prediction cost, not stream generation, and every path consumes
+     the identical batches *)
+  let batches =
+    Array.init config.batches (fun b ->
+        Array.init config.batch_size (fun i ->
+            pool.(stream.((b * config.batch_size) + i))))
+  in
+  (* scalar reference path, capped so huge budgets don't spend their
+     time in the slow path being compared against *)
+  let scalar_n = min total 4096 in
+  let checksum = ref 0. in
+  let t0 = now () in
+  for i = 0 to scalar_n - 1 do
+    checksum := !checksum +. Predictor.predict predictor pool.(stream.(i))
+  done;
+  let scalar_ns = (now () -. t0) /. float_of_int scalar_n in
+  let scalar_checksum = !checksum in
+  (* batched path through the public API *)
+  checksum := 0.;
+  let t0 = now () in
+  Array.iter
+    (fun pts ->
+      let out = Predictor.predict_batch ~obs predictor pts in
+      let acc = ref 0. in
+      Array.iter (fun v -> acc := !acc +. v) out;
+      checksum := !checksum +. !acc)
+    batches;
+  let batch_ns = (now () -. t0) /. float_of_int total in
+  let batch_checksum = !checksum in
+  (* raw kernel: pre-marshalled queries, zero allocation per batch *)
+  let packed = predictor.Predictor.packed in
+  let queries = Rbf.Batch_kernel.create_buffer (config.batch_size * dim) in
+  let out_buf = Rbf.Batch_kernel.create_buffer config.batch_size in
+  let t0 = now () in
+  Array.iter
+    (fun pts ->
+      Rbf.Batch_kernel.load_queries packed queries pts;
+      Rbf.Batch_kernel.eval_into packed ~queries ~n:config.batch_size
+        ~out:out_buf)
+    batches;
+  let kernel_ns = (now () -. t0) /. float_of_int total in
+  (* cached path: same stream through the quantized LRU memo *)
+  let cache =
+    Memo.create ~obs ~capacity:config.cache_capacity ~space
+      ~sample_size:config.grid_sample_size ()
+  in
+  checksum := 0.;
+  let t0 = now () in
+  Array.iter
+    (fun pts ->
+      let out = Predictor.predict_batch ~obs ~cache predictor pts in
+      let acc = ref 0. in
+      Array.iter (fun v -> acc := !acc +. v) out;
+      checksum := !checksum +. !acc)
+    batches;
+  let cached_ns = (now () -. t0) /. float_of_int total in
+  let cached_checksum = !checksum in
+  (* the three paths must agree exactly; a mismatch is a kernel bug,
+     not a measurement artefact *)
+  if
+    not
+      (Int64.equal
+         (Int64.bits_of_float batch_checksum)
+         (Int64.bits_of_float cached_checksum))
+  then reject "cached and uncached predictions disagree";
+  ignore scalar_checksum;
+  let stats = Memo.stats cache in
+  let classified = stats.Memo.hits + stats.Memo.misses + stats.Memo.bypasses in
+  Obs.count obs "serve.predictions" (3 * total);
+  {
+    config;
+    predictions = total;
+    key_reuse = float_of_int total /. float_of_int config.distinct_points;
+    scalar_ns_per_point = scalar_ns;
+    batch_ns_per_point = batch_ns;
+    kernel_ns_per_point = kernel_ns;
+    cached_ns_per_point = cached_ns;
+    predictions_per_sec = 1e9 /. batch_ns;
+    speedup_vs_scalar = scalar_ns /. batch_ns;
+    hit_rate =
+      (if classified = 0 then 0.
+       else float_of_int stats.Memo.hits /. float_of_int classified);
+    cache = stats;
+    checksum = batch_checksum;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metadata and the BENCH_serve.json shape                            *)
+(* ------------------------------------------------------------------ *)
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception Unix.Unix_error (_, _, _) -> "unknown"
+  | ic ->
+      let line = try Some (input_line ic) with End_of_file -> None in
+      ignore (Unix.close_process_in ic);
+      (match line with Some l when String.trim l <> "" -> String.trim l | _ -> "unknown")
+
+let metadata () =
+  [
+    ("domains", Json.Int (Stats.Parallel.default_domains ()));
+    ("git_describe", Json.String (git_describe ()));
+    ("simd", Json.String (Rbf.Batch_kernel.simd_level ()));
+  ]
+
+let json_of_result r =
+  Json.Obj
+    [
+      ("batch_size", Json.Int r.config.batch_size);
+      ("batches", Json.Int r.config.batches);
+      ("predictions", Json.Int r.predictions);
+      ("distinct_points", Json.Int r.config.distinct_points);
+      ("grid_sample_size", Json.Int r.config.grid_sample_size);
+      ("seed", Json.Int r.config.seed);
+      ("cache_capacity", Json.Int r.config.cache_capacity);
+      ("key_reuse", Json.Float r.key_reuse);
+      ("scalar_ns_per_point", Json.Float r.scalar_ns_per_point);
+      ("batch_ns_per_point", Json.Float r.batch_ns_per_point);
+      ("kernel_ns_per_point", Json.Float r.kernel_ns_per_point);
+      ("cached_ns_per_point", Json.Float r.cached_ns_per_point);
+      ("predictions_per_sec", Json.Float r.predictions_per_sec);
+      ("speedup_vs_scalar", Json.Float r.speedup_vs_scalar);
+      ("hit_rate", Json.Float r.hit_rate);
+      ("cache_hits", Json.Int r.cache.Memo.hits);
+      ("cache_misses", Json.Int r.cache.Memo.misses);
+      ("cache_evictions", Json.Int r.cache.Memo.evictions);
+      ("cache_bypasses", Json.Int r.cache.Memo.bypasses);
+      ("checksum", Json.Float r.checksum);
+    ]
+
+let json ~meta results =
+  Json.Obj
+    ((("schema", Json.String "archpred-serve-v1") :: meta)
+    @ [ ("runs", Json.List (List.map json_of_result results)) ])
+
+let write_json ~path ~meta results =
+  let oc = open_out path in
+  output_string oc (Json.to_string (json ~meta results));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,61 @@
+(** Reproducible serving load test for the batched prediction kernel.
+
+    Drives a seeded synthetic query stream (a pool of on-grid design
+    points reused with a configurable key-reuse factor) through the
+    scalar reference path, the batched kernel, the raw zero-allocation
+    kernel over pre-marshalled buffers, and the batched path fronted by
+    the quantized LRU memo — and reports per-point latency, throughput,
+    and cache behaviour.  The stream and predicted values are fully
+    deterministic for a given [config]; only the timings vary. *)
+
+type config = {
+  batch_size : int;
+  batches : int;
+  distinct_points : int;  (** pool of unique on-grid query points *)
+  grid_sample_size : int;  (** grid resolution used when snapping *)
+  seed : int;
+  cache_capacity : int;
+}
+
+val default : config
+(** 256-point batches, 256 batches, 512 distinct points, seed 7. *)
+
+type result = {
+  config : config;
+  predictions : int;  (** batches * batch_size *)
+  key_reuse : float;  (** predictions / distinct_points *)
+  scalar_ns_per_point : float;
+  batch_ns_per_point : float;
+  kernel_ns_per_point : float;
+      (** raw [Batch_kernel.eval_into] over pre-marshalled buffers *)
+  cached_ns_per_point : float;
+  predictions_per_sec : float;  (** from the uncached batched path *)
+  speedup_vs_scalar : float;
+  hit_rate : float;  (** hits / (hits + misses + bypasses) *)
+  cache : Memo.stats;
+  checksum : float;
+      (** sum of all batched predictions; deterministic per config *)
+}
+
+val run : ?obs:Archpred_obs.t -> predictor:Predictor.t -> config -> result
+(** Run the load test.  Raises [Archpred_obs.Error.Archpred] on a
+    degenerate config, or if the cached and uncached paths ever
+    disagree bitwise (which would be a kernel or cache bug). *)
+
+val metadata : unit -> (string * Archpred_obs.Json.t) list
+(** Environment stamp shared by the bench JSON reports: default domain
+    count, [git describe] output (or ["unknown"]), and the SIMD level
+    the kernel dispatched to. *)
+
+val json_of_result : result -> Archpred_obs.Json.t
+
+val json :
+  meta:(string * Archpred_obs.Json.t) list -> result list -> Archpred_obs.Json.t
+(** Whole-report object: [schema = "archpred-serve-v1"], the metadata
+    fields, then a [runs] list of {!json_of_result} objects. *)
+
+val write_json :
+  path:string ->
+  meta:(string * Archpred_obs.Json.t) list ->
+  result list ->
+  unit

@@ -14,6 +14,8 @@ let sweep ?simulate ?domains ~predictor ~base ~dim1 ~steps1 ~dim2 ~steps2 () =
   let simulated_flat =
     Option.map (fun r -> Response.evaluate_many ?domains r flat) simulate
   in
+  (* the whole grid in one batched prediction pass *)
+  let predicted_flat = Predictor.predict_batch predictor flat in
   Array.mapi
     (fun i row ->
       let p1 = Design.Space.parameter space dim1 in
@@ -22,7 +24,7 @@ let sweep ?simulate ?domains ~predictor ~base ~dim1 ~steps1 ~dim2 ~steps2 () =
         dim1_value = Design.Parameter.decode p1 row.(0).(dim1);
         dim2_values =
           Array.map (fun pt -> Design.Parameter.decode p2 pt.(dim2)) row;
-        predicted = Array.map (Predictor.predict predictor) row;
+        predicted = Array.sub predicted_flat (i * steps2) steps2;
         simulated =
           Option.map
             (fun s -> Array.sub s (i * steps2) steps2)

@@ -52,6 +52,26 @@ let validate_point t x =
   check_arity t x;
   if not (contains x) then invalid_arg "Space: point outside unit cube"
 
+(* Batched validation for the hot prediction path: one pass per check
+   instead of a closure call per point, with the same failure messages
+   as [validate_point]. *)
+let validate_points t xs =
+  let dim = Array.length t.params in
+  let n = Array.length xs in
+  for i = 0 to n - 1 do
+    if Array.length (Array.unsafe_get xs i) <> dim then
+      invalid_arg "Space: point arity mismatch"
+  done;
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get xs i in
+    let ok = ref true in
+    for k = 0 to dim - 1 do
+      let u = Array.unsafe_get x k in
+      if not (u >= -.eps && u <= 1. +. eps) then ok := false
+    done;
+    if not !ok then invalid_arg "Space: point outside unit cube"
+  done
+
 let sub_box t ~lo ~hi u =
   check_arity t lo;
   check_arity t hi;

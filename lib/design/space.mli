@@ -42,6 +42,11 @@ val validate_point : t -> point -> unit
 (** Raise [Invalid_argument] if the point has the wrong arity or leaves the
     unit cube. *)
 
+val validate_points : t -> point array -> unit
+(** Validate a whole batch with the same checks and messages as
+    {!validate_point}, in two branch-light passes; used by the batched
+    prediction path where per-point closure dispatch is measurable. *)
+
 val sub_box : t -> lo:point -> hi:point -> point -> point
 (** [sub_box t ~lo ~hi u] maps a point [u] of the unit cube affinely into
     the axis-aligned box [\[lo, hi\]]; used to generate test points within

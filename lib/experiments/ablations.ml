@@ -19,13 +19,10 @@ let train_on_sample ?criterion ctx points =
   let tune =
     Core.Tune.tune ~config ~dim:Core.Paper_space.dim ~points ~responses ()
   in
-  ( {
-      Core.Predictor.space = Core.Paper_space.space;
-      network = tune.Core.Tune.selection.Rbf.Selection.network;
-      tree = Some tune.Core.Tune.tree;
-      p_min = tune.Core.Tune.p_min;
-      alpha = tune.Core.Tune.alpha;
-    },
+  ( Core.Predictor.make ~space:Core.Paper_space.space
+      ~network:tune.Core.Tune.selection.Rbf.Selection.network
+      ~tree:tune.Core.Tune.tree ~p_min:tune.Core.Tune.p_min
+      ~alpha:tune.Core.Tune.alpha (),
     tune,
     responses )
 
@@ -93,8 +90,13 @@ let centers ctx ppf =
       Rbf.Network.fit ~centers ~points ~responses ()
     with
     | network, _ ->
+        (* rebuild through [make] so the packed batch-kernel storage is
+           derived from the swapped-in network, never left stale *)
+        let p = trained.Core.Build.predictor in
         let predictor =
-          { trained.Core.Build.predictor with Core.Predictor.network }
+          Core.Predictor.make ~space:p.Core.Predictor.space ~network
+            ?tree:p.Core.Predictor.tree ~p_min:p.Core.Predictor.p_min
+            ~alpha:p.Core.Predictor.alpha ()
         in
         let err = test_error ctx predictor in
         Format.fprintf ppf "%-24s %8d %10.2f %10.2f@." name
@@ -138,11 +140,11 @@ let centers ctx ppf =
   let forward =
     Rbf.Selection.select_forward ~candidates ~points ~responses ()
   in
-  (let predictor =
-     {
-       trained.Core.Build.predictor with
-       Core.Predictor.network = forward.Rbf.Selection.network;
-     }
+  (let p = trained.Core.Build.predictor in
+   let predictor =
+     Core.Predictor.make ~space:p.Core.Predictor.space
+       ~network:forward.Rbf.Selection.network ?tree:p.Core.Predictor.tree
+       ~p_min:p.Core.Predictor.p_min ~alpha:p.Core.Predictor.alpha ()
    in
    let err = test_error ctx predictor in
    Format.fprintf ppf "%-24s %8d %10.2f %10.2f@." "greedy forward (no tree)"
@@ -171,13 +173,10 @@ let criterion ctx ppf =
           ~dim:Core.Paper_space.dim ~points ~responses ()
       in
       let predictor =
-        {
-          Core.Predictor.space = Core.Paper_space.space;
-          network = tune.Core.Tune.selection.Rbf.Selection.network;
-          tree = Some tune.Core.Tune.tree;
-          p_min = tune.Core.Tune.p_min;
-          alpha = tune.Core.Tune.alpha;
-        }
+        Core.Predictor.make ~space:Core.Paper_space.space
+          ~network:tune.Core.Tune.selection.Rbf.Selection.network
+          ~tree:tune.Core.Tune.tree ~p_min:tune.Core.Tune.p_min
+          ~alpha:tune.Core.Tune.alpha ()
       in
       let err = test_error ctx predictor in
       Format.fprintf ppf "%-8s %8d %10.2f %10.2f@."
@@ -206,13 +205,8 @@ let alpha ctx ppf =
         Rbf.Selection.select ~tree ~candidates ~points ~responses ()
       in
       let predictor =
-        {
-          Core.Predictor.space = Core.Paper_space.space;
-          network = selection.Rbf.Selection.network;
-          tree = Some tree;
-          p_min = 1;
-          alpha;
-        }
+        Core.Predictor.make ~space:Core.Paper_space.space
+          ~network:selection.Rbf.Selection.network ~tree ~p_min:1 ~alpha ()
       in
       let err = test_error ctx predictor in
       Format.fprintf ppf "%-8.1f %8d %12.1f %10.2f %10.2f@." alpha

@@ -1,0 +1,62 @@
+(** Zero-allocation batched RBF evaluation.
+
+    A packed model holds its centers, reciprocal radii and weights in
+    contiguous C-layout bigarrays (struct-of-arrays), built once at
+    model construction or load.  {!eval_into} then evaluates a batch of
+    query points against every center in a single C pass — vectorised
+    across points with AVX-512 or AVX2 where the host supports them —
+    without allocating per point.
+
+    Every path is bit-identical to the scalar reference
+    {!Network.eval}: the kernel replays the reference's exact IEEE-754
+    operation sequence per point (see rbf_kernel_stubs.c), so batching,
+    SIMD width and instruction-set dispatch never change results. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val pack :
+  dim:int ->
+  centers:float array array ->
+  radii:float array array ->
+  weights:float array ->
+  t
+(** Pack a model into contiguous storage.  Raises [Invalid_argument] on
+    empty models, arity mismatches or non-positive radii. *)
+
+val n_centers : t -> int
+val dim : t -> int
+
+val create_buffer : int -> buffer
+(** A fresh C-layout float64 buffer of at least [n] elements (a buffer
+    of length 1 for [n = 0]). *)
+
+val set_query : t -> buffer -> int -> float array -> unit
+(** [set_query t queries i point] writes [point] into row [i] of a
+    query buffer laid out as [n] consecutive [dim t]-sized rows.
+    Raises [Invalid_argument] on arity mismatch or out-of-bounds row. *)
+
+val load_queries : t -> buffer -> float array array -> unit
+(** Marshal a whole batch into [queries] (row [i] = point [i]) in one
+    fused loop — substantially faster than per-point {!set_query}.
+    Raises [Invalid_argument] if the buffer is too small or any point
+    has the wrong arity. *)
+
+val eval_into : ?force_scalar:bool -> t -> queries:buffer -> n:int -> out:buffer -> unit
+(** Evaluate the first [n] rows of [queries], writing the network
+    response of row [i] to [out.{i}].  Allocation-free.
+    [force_scalar] pins the portable scalar C path (used by tests to
+    cross-check the SIMD paths); the default picks the best instruction
+    set available at runtime. *)
+
+val eval_points : ?force_scalar:bool -> t -> float array array -> float array
+(** Convenience wrapper: marshal [points] into an internal scratch
+    buffer (reused across calls, grown on demand), evaluate, and return
+    the responses in order.  Because of the shared scratch, this entry
+    point must not be called concurrently from several domains on the
+    same [t]; {!eval_into} with caller-owned buffers is re-entrant. *)
+
+val simd_level : unit -> string
+(** Instruction set the kernel dispatches to on this host:
+    ["avx512"], ["avx2"] or ["scalar"]. *)

@@ -11,15 +11,23 @@ let check_center { c; r } =
       if not (radius > 0.) then invalid_arg "Network: non-positive radius")
     r
 
+(* The scalar reference path.  Two deliberate choices keep it bitwise
+   reproducible by the batch kernel (Batch_kernel) on every instruction
+   set: the distance uses a multiply by the reciprocal radius — the
+   packed storage precomputes the identical [1. /. r] — and the
+   exponential is the deterministic table-driven [Rbf_math.exp_neg]
+   rather than libm's exp, whose last-ulp rounding varies across
+   libms.  Division by r and multiplication by 1/r differ in the last
+   ulp, so the two must never be mixed. *)
 let basis { c; r } x =
   let n = Array.length c in
   if Array.length x <> n then invalid_arg "Network.basis: arity mismatch";
   let acc = ref 0. in
   for k = 0 to n - 1 do
-    let d = (x.(k) -. c.(k)) /. r.(k) in
+    let d = (x.(k) -. c.(k)) *. (1. /. r.(k)) in
     acc := !acc +. (d *. d)
   done;
-  exp (-. !acc)
+  Rbf_math.exp_neg !acc
 
 type t = { centers : center array; weights : float array }
 
@@ -29,6 +37,20 @@ let eval t x =
     acc := !acc +. (t.weights.(j) *. basis t.centers.(j) x)
   done;
   !acc
+
+type packed = Batch_kernel.t
+
+let pack t =
+  if Array.length t.centers = 0 then invalid_arg "Network.pack: no centers";
+  Array.iter check_center t.centers;
+  Batch_kernel.pack
+    ~dim:(Array.length t.centers.(0).c)
+    ~centers:(Array.map (fun ctr -> ctr.c) t.centers)
+    ~radii:(Array.map (fun ctr -> ctr.r) t.centers)
+    ~weights:t.weights
+
+let eval_batch ?force_scalar packed points =
+  Batch_kernel.eval_points ?force_scalar packed points
 
 let design_matrix centers points =
   Matrix.init (Array.length points) (Array.length centers) (fun i j ->

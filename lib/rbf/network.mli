@@ -24,7 +24,24 @@ type t = {
 }
 
 val eval : t -> float array -> float
-(** Network response at a point (eq. 1). *)
+(** Network response at a point (eq. 1).  This scalar path is the
+    reference implementation ("the oracle"): {!eval_batch} is defined
+    to be bit-identical to it, and tests enforce that. *)
+
+type packed = Batch_kernel.t
+(** A network packed into contiguous struct-of-arrays storage
+    ({!Batch_kernel.t}): centers, reciprocal radii and weights in
+    C-layout bigarrays, built once per model. *)
+
+val pack : t -> packed
+(** Pack a fitted network for batched evaluation.  Raises
+    [Invalid_argument] on an empty network or invalid radii. *)
+
+val eval_batch : ?force_scalar:bool -> packed -> float array array -> float array
+(** Evaluate a batch of points in one vectorised, zero-allocation-per-
+    point C pass.  Bit-identical to mapping {!eval} over the batch, at
+    any batch size, on every instruction set ([force_scalar] pins the
+    portable C path; tests use it to cross-check SIMD dispatch). *)
 
 val design_matrix : center array -> float array array -> Archpred_linalg.Matrix.t
 (** [design_matrix centers points] is the p-by-m matrix [H] with

@@ -1,0 +1,105 @@
+(* Deterministic exp(-s) shared by the scalar reference path and the C
+   batch kernel (rbf_kernel_stubs.c).
+
+   The libm [exp] is correctly rounded on glibc but other libms (musl,
+   macOS, mingw) round differently in the last ulp, and a C kernel
+   calling libm from vectorised code could not reproduce OCaml's call
+   sequence bit-for-bit anyway.  So both the OCaml scalar oracle and
+   every C kernel path (scalar, AVX2, AVX-512) evaluate this exact
+   operation sequence over the same tables; agreeing on each individual
+   IEEE-754 operation makes the results bit-identical by construction.
+
+   Algorithm: standard table-driven reduction with 64 subdivisions per
+   octave.  For x = -s, write x = n*(ln2/64) + r with n an integer and
+   |r| <= ln2/128, then
+
+     exp(x) = 2^(n/64) * exp(r)
+            = 2^(j/64) * 2^e * exp(r)        (n = 64e + j, 0 <= j < 64)
+
+   with 2^(j/64) from a 64-entry table, 2^e from an exact power-of-two
+   table, and exp(r) from a degree-4 polynomial (|r| is small enough
+   that the truncation error is ~4e-14 relative).  ln2/64 is split into
+   a high part with 20 trailing zero bits -- so n * hi is exact for all
+   |n| < 2^19 reachable here -- plus a low correction, keeping the
+   reduced argument accurate to ~1 ulp.
+
+   The constants below are hex float literals so that the OCaml lexer
+   and the C compiler produce the same bit patterns; they must match
+   rbf_kernel_stubs.c exactly. *)
+
+open Bigarray
+
+type table = (float, float64_elt, c_layout) Array1.t
+
+let invln2_64 = 0x1.71547652b82fep+6 (* 64 / ln 2 *)
+let ln2_64_hi = 0x1.62e42fee00000p-7
+let ln2_64_lo = 0x1.a39ef35793c76p-39
+
+(* 2^(j/64), j = 0..63, correctly rounded (same values glibc's exp
+   tables use).  Hardcoded rather than computed with [( ** )] so the
+   table does not depend on the host's pow implementation. *)
+let t2j_values =
+  [|
+    0x1p+0;               0x1.02c9a3e778061p+0; 0x1.059b0d3158574p+0;
+    0x1.0874518759bc8p+0; 0x1.0b5586cf9890fp+0; 0x1.0e3ec32d3d1a2p+0;
+    0x1.11301d0125b51p+0; 0x1.1429aaea92dep+0;  0x1.172b83c7d517bp+0;
+    0x1.1a35beb6fcb75p+0; 0x1.1d4873168b9aap+0; 0x1.2063b88628cd6p+0;
+    0x1.2387a6e756238p+0; 0x1.26b4565e27cddp+0; 0x1.29e9df51fdee1p+0;
+    0x1.2d285a6e4030bp+0; 0x1.306fe0a31b715p+0; 0x1.33c08b26416ffp+0;
+    0x1.371a7373aa9cbp+0; 0x1.3a7db34e59ff7p+0; 0x1.3dea64c123422p+0;
+    0x1.4160a21f72e2ap+0; 0x1.44e086061892dp+0; 0x1.486a2b5c13cdp+0;
+    0x1.4bfdad5362a27p+0; 0x1.4f9b2769d2ca7p+0; 0x1.5342b569d4f82p+0;
+    0x1.56f4736b527dap+0; 0x1.5ab07dd485429p+0; 0x1.5e76f15ad2148p+0;
+    0x1.6247eb03a5585p+0; 0x1.6623882552225p+0; 0x1.6a09e667f3bcdp+0;
+    0x1.6dfb23c651a2fp+0; 0x1.71f75e8ec5f74p+0; 0x1.75feb564267c9p+0;
+    0x1.7a11473eb0187p+0; 0x1.7e2f336cf4e62p+0; 0x1.82589994cce13p+0;
+    0x1.868d99b4492edp+0; 0x1.8ace5422aa0dbp+0; 0x1.8f1ae99157736p+0;
+    0x1.93737b0cdc5e5p+0; 0x1.97d829fde4e5p+0;  0x1.9c49182a3f09p+0;
+    0x1.a0c667b5de565p+0; 0x1.a5503b23e255dp+0; 0x1.a9e6b5579fdbfp+0;
+    0x1.ae89f995ad3adp+0; 0x1.b33a2b84f15fbp+0; 0x1.b7f76f2fb5e47p+0;
+    0x1.bcc1e904bc1d2p+0; 0x1.c199bdd85529cp+0; 0x1.c67f12e57d14bp+0;
+    0x1.cb720dcef9069p+0; 0x1.d072d4a07897cp+0; 0x1.d5818dcfba487p+0;
+    0x1.da9e603db3285p+0; 0x1.dfc97337b9b5fp+0; 0x1.e502ee78b3ff6p+0;
+    0x1.ea4afa2a490dap+0; 0x1.efa1bee615a27p+0; 0x1.f50765b6e454p+0;
+    0x1.fa7c1819e90d8p+0;
+  |]
+
+let t2j =
+  let a = Array1.create float64 c_layout 64 in
+  Array.iteri (fun i v -> a.{i} <- v) t2j_values;
+  a
+
+(* 2^e for e = -1099 .. 1023 at offset e + 1099; [ldexp 1.] is exact,
+   subnormals included, so this table is platform-independent. *)
+let pow2_offset = 1099
+let pow2_size = 2123
+
+let pow2 =
+  let a = Array1.create float64 c_layout pow2_size in
+  for i = 0 to pow2_size - 1 do
+    a.{i} <- Float.ldexp 1. (i - pow2_offset)
+  done;
+  a
+
+(* |s| <= 708 keeps 2^e inside the table (|e| <= 1022) and n * hi
+   exact; beyond it exp(-s) has over/underflowed anyway. *)
+let exp_neg s =
+  if not (Float.abs s <= 708.) then
+    if Float.is_nan s then s else if s > 0. then 0. else infinity
+  else begin
+    let z = -.s *. invln2_64 in
+    let n = int_of_float (z -. 0.5) in
+    let nf = float_of_int n in
+    let r = (-.s -. (nf *. ln2_64_hi)) -. (nf *. ln2_64_lo) in
+    let j = n land 63 and e = n asr 6 in
+    let p =
+      1.
+      +. (r
+         *. (1.
+            +. (r
+               *. (0.5
+                  +. (r
+                     *. (0.16666666666666666 +. (r *. 0.041666666666666664)))))))
+    in
+    t2j.{j} *. p *. pow2.{e + pow2_offset}
+  end

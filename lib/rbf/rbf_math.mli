@@ -1,0 +1,22 @@
+(** Deterministic exponential for the RBF hot path.
+
+    [exp_neg s] computes [exp (-s)] with a fixed table-driven operation
+    sequence (relative error ~4e-14) instead of libm, so that the scalar
+    reference evaluator ({!Network.eval}) and the vectorised C batch
+    kernel ({!Batch_kernel}) produce bit-identical results: every kernel
+    path replays this exact sequence of IEEE-754 operations per lane.
+
+    The tables are exposed as C-layout bigarrays because the C stubs
+    index them directly; treat them as read-only. *)
+
+type table = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val t2j : table
+(** [2^(j/64)] for [j = 0..63].  Read-only. *)
+
+val pow2 : table
+(** [2^e] at index [e + 1099], for [e = -1099..1023].  Read-only. *)
+
+val exp_neg : float -> float
+(** [exp_neg s] is [exp (-s)] for [|s| <= 708]; [0.] / [infinity] past
+    the over/underflow horizon, and NaN propagates. *)

@@ -354,7 +354,7 @@ let test_crossval_perfect_model () =
   let responses = Array.map f points in
   let cv =
     Core.Crossval.k_fold ~k:5 ~rng
-      ~train:(fun ~points:_ ~responses:_ p -> f p)
+      ~train:(fun ~points:_ ~responses:_ held -> Array.map f held)
       ~points ~responses ()
   in
   Alcotest.(check (float 1e-9)) "zero error" 0. cv.Core.Crossval.mean_pct
@@ -384,7 +384,8 @@ let test_crossval_too_few_points () =
     (fun () ->
       ignore
         (Core.Crossval.k_fold ~k:5 ~rng
-           ~train:(fun ~points:_ ~responses:_ _ -> 0.)
+           ~train:(fun ~points:_ ~responses:_ held ->
+             Array.map (fun _ -> 0.) held)
            ~points:[| [| 0.5 |] |] ~responses:[| 1. |] ()))
 
 (* ---------- Adaptive ---------- *)
@@ -464,6 +465,224 @@ let test_persist_rejects_truncated () =
     (match Core.Persist.of_string truncated with
     | exception Core.Error.Archpred (Core.Error.Parse_error _) -> true
     | _ -> false)
+
+(* ---------- batched prediction ---------- *)
+
+let check_bits msg expected actual =
+  if
+    not
+      (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float actual))
+  then Alcotest.failf "%s: scalar %h <> batch %h" msg expected actual
+
+let test_predict_batch_bit_identical () =
+  (* models trained at 1 and 4 domains, plus a Persist round-trip of
+     each: the packed kernel rebuilt at load time must replay the
+     scalar path exactly, at every batch size *)
+  let train domains =
+    Build.train
+      ~config:
+        (Config.default
+        |> Config.with_rng (Rng.create 12)
+        |> Config.with_lhs_candidates 10
+        |> Config.with_domains domains
+        |> Config.with_sample_size 50)
+      ~space:Paper_space.space
+      ~response:(Response.synthetic_smooth ~dim:9)
+      ()
+  in
+  let d1 = (train 1).Build.predictor and d4 = (train 4).Build.predictor in
+  let models =
+    [
+      ("domains=1", d1);
+      ("domains=4", d4);
+      ("persisted d1", Core.Persist.of_string (Core.Persist.to_string d1));
+      ("persisted d4", Core.Persist.of_string (Core.Persist.to_string d4));
+    ]
+  in
+  let rng = Rng.create 31 in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun n ->
+          let pts =
+            Array.init n (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng))
+          in
+          let batch = Predictor.predict_batch p pts in
+          Alcotest.(check int) "one output per point" n (Array.length batch);
+          Array.iteri
+            (fun i q ->
+              check_bits
+                (Printf.sprintf "%s n=%d i=%d" name n i)
+                (Predictor.predict p q) batch.(i))
+            pts)
+        [ 1; 7; 64; 256 ])
+    models
+
+let test_predict_batch_validates () =
+  (* same contract as the scalar path: every point is validated *)
+  let trained = trained_synthetic () in
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Space: point arity mismatch") (fun () ->
+      ignore
+        (Predictor.predict_batch trained.Build.predictor [| [| 0.5; 0.5 |] |]))
+
+let test_errors_on_matches_scalar () =
+  let trained = trained_synthetic () in
+  let p = trained.Build.predictor in
+  let rng = Rng.create 44 in
+  let points =
+    Array.init 30 (fun _ -> Array.init 9 (fun _ -> Rng.unit_float rng))
+  in
+  let actual = Array.init 30 (fun _ -> 1. +. Rng.unit_float rng) in
+  let batched = Predictor.errors_on p ~points ~actual in
+  let predicted = Array.map (Predictor.predict p) points in
+  let scalar =
+    Archpred_stats.Error_metrics.evaluate ~actual ~predicted
+  in
+  Alcotest.(check (float 0.)) "same mean_pct"
+    scalar.Archpred_stats.Error_metrics.mean_pct
+    batched.Archpred_stats.Error_metrics.mean_pct
+
+(* ---------- memo cache ---------- *)
+
+module Memo = Core.Memo
+
+let grid_sample_size = 10
+
+let grid_point u =
+  Design.Space.snap Paper_space.space ~sample_size:grid_sample_size
+    (Array.make 9 u)
+
+let test_memo_trace () =
+  (* hand-computed trace against a capacity-2 cache:
+       miss A, hit A, miss B, miss C (evicts A), miss A, hit B, hit C *)
+  let cache =
+    Memo.create ~capacity:2 ~space:Paper_space.space
+      ~sample_size:grid_sample_size ()
+  in
+  let a = grid_point 0. and b = grid_point 0.5 and c = grid_point 1. in
+  (match Memo.lookup cache a with
+  | Memo.Miss k -> Memo.insert cache k 1.
+  | _ -> Alcotest.fail "expected miss on A");
+  (match Memo.lookup cache a with
+  | Memo.Hit v -> Alcotest.(check (float 0.)) "A cached" 1. v
+  | _ -> Alcotest.fail "expected hit on A");
+  (match Memo.lookup cache b with
+  | Memo.Miss k -> Memo.insert cache k 2.
+  | _ -> Alcotest.fail "expected miss on B");
+  (match Memo.lookup cache c with
+  | Memo.Miss k -> Memo.insert cache k 3. (* evicts A: LRU *)
+  | _ -> Alcotest.fail "expected miss on C");
+  (match Memo.lookup cache a with
+  | Memo.Miss _ -> ()
+  | _ -> Alcotest.fail "A must have been evicted");
+  (match Memo.lookup cache b with
+  | Memo.Hit v -> Alcotest.(check (float 0.)) "B survives" 2. v
+  | _ -> Alcotest.fail "expected hit on B");
+  (match Memo.lookup cache c with
+  | Memo.Hit v -> Alcotest.(check (float 0.)) "C survives" 3. v
+  | _ -> Alcotest.fail "expected hit on C");
+  let s = Memo.stats cache in
+  Alcotest.(check int) "hits" 3 s.Memo.hits;
+  Alcotest.(check int) "misses" 4 s.Memo.misses;
+  Alcotest.(check int) "evictions" 1 s.Memo.evictions;
+  Alcotest.(check int) "bypasses" 0 s.Memo.bypasses;
+  Alcotest.(check int) "size" 2 s.Memo.size
+
+let test_memo_lru_order () =
+  let cache =
+    Memo.create ~capacity:3 ~space:Paper_space.space
+      ~sample_size:grid_sample_size ()
+  in
+  let insert u v =
+    match Memo.lookup cache (grid_point u) with
+    | Memo.Miss k -> Memo.insert cache k v
+    | _ -> Alcotest.fail "expected miss"
+  in
+  let values () = List.map snd (Memo.contents cache) in
+  insert 0. 1.;
+  insert 0.5 2.;
+  insert 1. 3.;
+  Alcotest.(check (list (float 0.))) "MRU first" [ 3.; 2.; 1. ] (values ());
+  (* touching A moves it to the front without changing size *)
+  (match Memo.lookup cache (grid_point 0.) with
+  | Memo.Hit _ -> ()
+  | _ -> Alcotest.fail "expected hit");
+  Alcotest.(check (list (float 0.))) "refresh reorders" [ 1.; 3.; 2. ]
+    (values ());
+  (* a fourth insert evicts the tail (value 2.), deterministically *)
+  insert 0.2 4.;
+  Alcotest.(check (list (float 0.))) "evicts LRU" [ 4.; 1.; 3. ] (values ());
+  Alcotest.(check int) "size bounded" 3 (Memo.stats cache).Memo.size
+
+let test_memo_capacity_bound () =
+  let cache =
+    Memo.create ~capacity:4 ~space:Paper_space.space ~sample_size:50 ()
+  in
+  let rng = Rng.create 52 in
+  for _ = 1 to 200 do
+    let p =
+      Design.Space.snap Paper_space.space ~sample_size:50
+        (Array.init 9 (fun _ -> Rng.unit_float rng))
+    in
+    match Memo.lookup cache p with
+    | Memo.Miss k -> Memo.insert cache k (Rng.unit_float rng)
+    | Memo.Hit _ | Memo.Bypass -> ()
+  done;
+  let s = Memo.stats cache in
+  Alcotest.(check int) "size never exceeds capacity" 4 s.Memo.size;
+  Alcotest.(check int) "contents match size" 4
+    (List.length (Memo.contents cache));
+  Alcotest.(check bool) "evictions happened" true (s.Memo.evictions > 0)
+
+let test_memo_off_grid_bypass () =
+  let cache =
+    Memo.create ~capacity:8 ~space:Paper_space.space
+      ~sample_size:grid_sample_size ()
+  in
+  let p = grid_point 0.5 in
+  p.(0) <- p.(0) +. 1e-13;
+  (match Memo.lookup cache p with
+  | Memo.Bypass -> ()
+  | _ -> Alcotest.fail "off-grid point must bypass");
+  let s = Memo.stats cache in
+  Alcotest.(check int) "bypass counted" 1 s.Memo.bypasses;
+  Alcotest.(check int) "nothing cached" 0 s.Memo.size
+
+let test_memo_cached_bit_identical () =
+  let trained = trained_synthetic () in
+  let p = trained.Build.predictor in
+  let rng = Rng.create 61 in
+  (* a pool of on-grid points with repeats, plus one off-grid query *)
+  let pool =
+    Array.init 12 (fun _ ->
+        Design.Space.snap Paper_space.space ~sample_size:grid_sample_size
+          (Array.init 9 (fun _ -> Rng.unit_float rng)))
+  in
+  let off_grid = Array.init 9 (fun _ -> Rng.unit_float rng) in
+  let points =
+    Array.init 64 (fun i ->
+        if i mod 16 = 7 then off_grid else pool.(Rng.int rng 12))
+  in
+  let cache =
+    Memo.create ~capacity:256 ~space:Paper_space.space
+      ~sample_size:grid_sample_size ()
+  in
+  let uncached = Predictor.predict_batch p points in
+  let first = Predictor.predict_batch ~cache p points in
+  let second = Predictor.predict_batch ~cache p points in
+  Array.iteri
+    (fun i _ ->
+      check_bits (Printf.sprintf "cold i=%d" i) uncached.(i) first.(i);
+      check_bits (Printf.sprintf "warm i=%d" i) uncached.(i) second.(i))
+    points;
+  let s = Memo.stats cache in
+  (* inserts land after the whole batch evaluates, so every on-grid
+     lookup in the cold pass (60 of 64) is a miss; the warm pass hits
+     them all; the 4 off-grid queries bypass in both passes *)
+  Alcotest.(check int) "cold pass misses" 60 s.Memo.misses;
+  Alcotest.(check int) "warm pass hits" 60 s.Memo.hits;
+  Alcotest.(check int) "off-grid bypassed" 8 s.Memo.bypasses
 
 (* ---------- metric responses ---------- *)
 
@@ -683,6 +902,24 @@ let () =
         [
           Alcotest.test_case "budget accounting" `Quick test_adaptive_budget_accounting;
           Alcotest.test_case "model usable" `Quick test_adaptive_model_usable;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "bit identical" `Quick
+            test_predict_batch_bit_identical;
+          Alcotest.test_case "validates points" `Quick
+            test_predict_batch_validates;
+          Alcotest.test_case "errors_on matches scalar" `Quick
+            test_errors_on_matches_scalar;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hand-computed trace" `Quick test_memo_trace;
+          Alcotest.test_case "lru order" `Quick test_memo_lru_order;
+          Alcotest.test_case "capacity bound" `Quick test_memo_capacity_bound;
+          Alcotest.test_case "off-grid bypass" `Quick test_memo_off_grid_bypass;
+          Alcotest.test_case "cached bit identical" `Quick
+            test_memo_cached_bit_identical;
         ] );
       ( "persist",
         [

@@ -31,6 +31,7 @@ let fixtures =
     ("float-lit-eq", "let f x = x = 0.5\n");
     ("catchall-exn", "let f g = try g () with _ -> 0\n");
     ("missing-mli", "let x = 1\n");
+    ("unsafe-index", "let f a = Float.Array.unsafe_get a 0\n");
   ]
 
 let mli_exists_for rule = if rule = "missing-mli" then Some false else None
@@ -56,7 +57,7 @@ let test_clean_file () =
   Alcotest.check srules "clean file passes" [] (rules_of (scan src))
 
 let test_rule_table () =
-  Alcotest.(check int) "ten rules" 10 (List.length Lint.rules);
+  Alcotest.(check int) "eleven rules" 11 (List.length Lint.rules);
   List.iter
     (fun (rule, _) ->
       Alcotest.(check bool)
@@ -86,6 +87,27 @@ let test_sanctioned_module () =
       ~filename:"rng.ml" "let _seed = Random.int 3\n"
   in
   Alcotest.check srules "Stats.Rng may touch Random" [] (rules_of findings)
+
+let test_unsafe_index () =
+  (* both unchecked-accessor families are caught ... *)
+  Alcotest.check srules "Bigarray.Array1 variant detected" [ "unsafe-index" ]
+    (rules_of (scan "let f a i = Bigarray.Array1.unsafe_get a i\n"));
+  Alcotest.check srules "open-Bigarray variant detected" [ "unsafe-index" ]
+    (rules_of (scan "let f a i v = Array2.unsafe_set a i 0 v\n"));
+  (* ... plain Array.unsafe_* stays legal (checked hot loops in linalg) *)
+  Alcotest.check srules "plain Array.unsafe_get is not this rule" []
+    (rules_of (scan "let f a = Array.unsafe_get a 0\n"));
+  (* lib-only: bench and test code may index however it likes *)
+  Alcotest.check srules "legal outside lib/" []
+    (rules_of (scan ~scope:Lint.Bench "let f a = Float.Array.unsafe_get a 0\n"));
+  (* the batch kernel is the one sanctioned owner *)
+  let findings =
+    Lint.scan_string ~scope:Lint.Lib ~rel:"lib/rbf/batch_kernel.ml"
+      ~mli_exists:true ~filename:"batch_kernel.ml"
+      "let f a i v = Bigarray.Array1.unsafe_set a i v\n"
+  in
+  Alcotest.check srules "batch kernel may skip bounds checks" []
+    (rules_of findings)
 
 (* --- pragma meta-rules --- *)
 
@@ -188,6 +210,7 @@ let () =
           Alcotest.test_case "rule table" `Quick test_rule_table;
           Alcotest.test_case "scope gating" `Quick test_scopes;
           Alcotest.test_case "sanctioned module" `Quick test_sanctioned_module;
+          Alcotest.test_case "unsafe index" `Quick test_unsafe_index;
           Alcotest.test_case "unused pragma" `Quick test_unused_pragma;
           Alcotest.test_case "bad pragma" `Quick test_bad_pragma;
           Alcotest.test_case "same-line pragma" `Quick test_pragma_same_line;

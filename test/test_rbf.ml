@@ -256,6 +256,92 @@ let test_forward_selection () =
   let r2 = Archpred_stats.Correlation.r_squared ~actual:responses ~predicted in
   Alcotest.(check bool) "fits training data" true (r2 > 0.9)
 
+(* ---------- batched evaluation: bit-identity with the scalar oracle ---------- *)
+
+let random_network rng ~dim ~m =
+  let centers =
+    Array.init m (fun _ ->
+        {
+          Network.c = Array.init dim (fun _ -> Rng.unit_float rng);
+          r = Array.init dim (fun _ -> 0.05 +. Rng.unit_float rng);
+        })
+  in
+  let weights = Array.init m (fun _ -> (Rng.unit_float rng *. 4.) -. 2.) in
+  { Network.centers; weights }
+
+let batch_sizes = [ 1; 7; 64; 256 ]
+
+(* Bit-level equality: the batch kernel must replay the scalar path's
+   exact IEEE operation sequence, so even the sign of zero and NaN
+   payloads have to agree. *)
+let check_bits msg expected actual =
+  if
+    not
+      (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float actual))
+  then Alcotest.failf "%s: scalar %h <> batch %h" msg expected actual
+
+let prop_batch_matches_scalar =
+  qtest ~count:25 "eval_batch bit-identical to eval (all batch sizes)"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dim = 1 + Rng.int rng 11 in
+      let m = 1 + Rng.int rng 30 in
+      let net = random_network rng ~dim ~m in
+      let packed = Network.pack net in
+      List.iter
+        (fun n ->
+          let points =
+            Array.init n (fun _ ->
+                Array.init dim (fun _ -> (Rng.unit_float rng *. 1.4) -. 0.2))
+          in
+          let auto = Network.eval_batch packed points in
+          let forced = Network.eval_batch ~force_scalar:true packed points in
+          Array.iteri
+            (fun i p ->
+              let s = Network.eval net p in
+              check_bits (Printf.sprintf "n=%d simd i=%d" n i) s auto.(i);
+              check_bits (Printf.sprintf "n=%d scalar-C i=%d" n i) s forced.(i))
+            points)
+        batch_sizes;
+      true)
+
+let test_batch_extreme_inputs () =
+  (* far-off-grid queries drive the exponent into the underflow guard *)
+  let rng = Rng.create 99 in
+  let net = random_network rng ~dim:4 ~m:8 in
+  let packed = Network.pack net in
+  let points =
+    [|
+      [| 1e3; -1e3; 5e2; 0. |];
+      [| 0.; 0.; 0.; 0. |];
+      [| 1.; 1.; 1.; 1. |];
+      [| -50.; 60.; -70.; 80. |];
+    |]
+  in
+  let batch = Network.eval_batch packed points in
+  Array.iteri
+    (fun i p -> check_bits "extreme" (Network.eval net p) batch.(i))
+    points
+
+let test_pack_rejects_empty () =
+  Alcotest.check_raises "empty network"
+    (Invalid_argument "Network.pack: no centers") (fun () ->
+      ignore (Network.pack { Network.centers = [||]; weights = [||] }))
+
+let test_batch_kernel_validates () =
+  let rng = Rng.create 7 in
+  let net = random_network rng ~dim:3 ~m:4 in
+  let packed = Network.pack net in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Batch_kernel.set_query: point arity mismatch") (fun () ->
+      ignore (Network.eval_batch packed [| [| 0.5; 0.5 |] |]))
+
+let test_simd_level_reported () =
+  match Rbf.Batch_kernel.simd_level () with
+  | "avx512" | "avx2" | "scalar" -> ()
+  | other -> Alcotest.failf "unexpected simd level %S" other
+
 let test_forward_respects_cap () =
   let tree, points, responses = small_tree () in
   let candidates = Tree_centers.of_tree ~alpha:5. tree in
@@ -309,5 +395,13 @@ let () =
           Alcotest.test_case "beats root-only" `Quick test_selection_beats_root_only;
           Alcotest.test_case "forward selection" `Quick test_forward_selection;
           Alcotest.test_case "forward cap" `Quick test_forward_respects_cap;
+        ] );
+      ( "batch",
+        [
+          prop_batch_matches_scalar;
+          Alcotest.test_case "extreme inputs" `Quick test_batch_extreme_inputs;
+          Alcotest.test_case "pack rejects empty" `Quick test_pack_rejects_empty;
+          Alcotest.test_case "kernel validates" `Quick test_batch_kernel_validates;
+          Alcotest.test_case "simd level" `Quick test_simd_level_reported;
         ] );
     ]

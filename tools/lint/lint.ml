@@ -53,6 +53,10 @@ let rules =
     ( "missing-mli",
       "every module under lib/ must have an interface (.mli) so the \
        public surface is reviewed, not accidental" );
+    ( "unsafe-index",
+      "bounds-unchecked Bigarray / Float.Array accessors (unsafe_get, \
+       unsafe_set) outside the batch kernel; only lib/rbf/batch_kernel.ml \
+       may skip bounds checks, behind its own validation" );
   ]
 
 let rule_known r = List.mem_assoc r rules
@@ -122,6 +126,28 @@ let ident_rule ~scope parts =
         ( "unsafe-cast",
           "`" ^ String.concat "." parts
           ^ "` is unversioned binary persistence; use Persist/Checkpoint" )
+  (* Bounds-unchecked accessors on Bigarray / Float.Array.  Plain
+     [Array.unsafe_*] stays legal (hot linalg loops use it after
+     explicit dimension checks); the raw-memory variants are confined
+     to the batch kernel, which validates once per batch. *)
+  | normalized when in_scope [ Lib ] -> (
+      match List.rev normalized with
+      | last :: mods
+        when String.starts_with ~prefix:"unsafe_" last
+             && (List.exists
+                   (fun m ->
+                     List.mem m
+                       [ "Bigarray"; "Array1"; "Array2"; "Array3"; "Genarray" ])
+                   mods
+                ||
+                match mods with "Array" :: "Float" :: _ -> true | _ -> false)
+        ->
+          Some
+            ( "unsafe-index",
+              "`" ^ String.concat "." parts
+              ^ "` skips bounds checks; only the batch kernel \
+                 (lib/rbf/batch_kernel.ml) may do that" )
+      | _ -> None)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -380,6 +406,7 @@ let sanctioned rule rel =
   | "random-global" ->
       path_has_suffix rel "stats/rng.ml" || path_has_suffix rel "stats/rng.mli"
   | "wall-clock" -> path_has_prefix rel "lib/obs/"
+  | "unsafe-index" -> path_has_suffix rel "rbf/batch_kernel.ml"
   | _ -> false
 
 (* ------------------------------------------------------------------ *)

@@ -16,6 +16,7 @@
      bench/main.exe table3 fig7     run the named experiments only
      bench/main.exe --micro         run only the micro-benchmarks
      bench/main.exe --crashsafe     measure checkpoint-journal overhead
+     bench/main.exe --sim           batched-simulation throughput record
      bench/main.exe --paper         run only the paper's tables and figures
      bench/main.exe --trace         print a span-tree summary after the runs
      bench/main.exe --metrics FILE  stream observability events as JSON lines
@@ -239,13 +240,11 @@ let write_bench_json measured =
           ])
       measured
   in
-  let report =
-    Json.Obj (Core.Serve.metadata () @ [ ("results", Json.List results) ])
-  in
-  let oc = open_out path in
-  output_string oc (Json.to_string report);
-  output_char oc '\n';
-  close_out oc;
+  (* [preserved] keeps the batched-simulation section written by
+     [bench --sim], so the two writers share the report file. *)
+  Core.Bench_report.write ~path ~schema:"archpred-parallel-v1"
+    (Core.Bench_report.preserved ~path [ "sim" ]
+    @ [ ("results", Json.List results) ]);
   Printf.printf "\nwrote %s\n" path
 
 let run_micro () =
@@ -320,8 +319,33 @@ let run_serve () =
       [ 1; 16; 64; 256 ]
   in
   let path = "BENCH_serve.json" in
-  Core.Serve.write_json ~path ~meta:(Core.Serve.metadata ()) results;
+  Core.Serve.write_json ~path results;
   Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Batched simulation: throughput and speedup of the multi-config core. *)
+(* ------------------------------------------------------------------ *)
+
+let run_sim () =
+  let r = Core.Sim_bench.run ~trace_length:20_000 ~n_configs:16 () in
+  Printf.printf "batched simulation (mcf, %d insts, %d configs)\n"
+    r.Core.Sim_bench.trace_length r.Core.Sim_bench.n_configs;
+  List.iter
+    (fun (c : Core.Sim_bench.rate) ->
+      Printf.printf "  %s  %-9s  %8.3f cpi  %10.0f inst/s\n"
+        c.Core.Sim_bench.name c.Core.Sim_bench.policy c.Core.Sim_bench.cpi
+        c.Core.Sim_bench.inst_per_sec)
+    r.Core.Sim_bench.rates;
+  List.iter
+    (fun (s : Core.Sim_bench.speedup) ->
+      Printf.printf "  batch %2d: %.4f s sequential, %.4f s batched, %.2fx\n"
+        s.Core.Sim_bench.batch s.Core.Sim_bench.sequential_s
+        s.Core.Sim_bench.batched_s s.Core.Sim_bench.speedup)
+    r.Core.Sim_bench.speedups;
+  Printf.printf "  bit-identical to reference: %b\n"
+    r.Core.Sim_bench.bit_identical;
+  Core.Sim_bench.record r;
+  Printf.printf "wrote BENCH_parallel.json (sim section)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: the crash-safety journal must not tax training. *)
@@ -369,20 +393,16 @@ let run_crashsafe () =
   Printf.printf "  checkpointed  %.4f s/train\n" checkpointed;
   Printf.printf "  overhead      %+.2f %%\n" overhead_pct;
   let path = "BENCH_crashsafe.json" in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"domains\": %d,\n\
-    \  \"reps\": %d,\n\
-    \  \"sample_size\": 40,\n\
-    \  \"trace_length\": 20000,\n\
-    \  \"baseline_s_per_train\": %.6f,\n\
-    \  \"checkpointed_s_per_train\": %.6f,\n\
-    \  \"overhead_pct\": %.3f\n\
-     }\n"
-    (Stats.Parallel.default_domains ())
-    reps baseline checkpointed overhead_pct;
-  close_out oc;
+  let module Json = Archpred_obs.Json in
+  Core.Bench_report.write ~path ~schema:"archpred-crashsafe-v1"
+    [
+      ("reps", Json.Int reps);
+      ("sample_size", Json.Int 40);
+      ("trace_length", Json.Int 20_000);
+      ("baseline_s_per_train", Json.Float baseline);
+      ("checkpointed_s_per_train", Json.Float checkpointed);
+      ("overhead_pct", Json.Float overhead_pct);
+    ];
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -396,6 +416,10 @@ let () =
   if List.mem "--serve" args then (
     run_serve ();
     (* archpred-lint: allow exit -- CLI early-exit after the serve-only run *)
+    exit 0);
+  if List.mem "--sim" args then (
+    run_sim ();
+    (* archpred-lint: allow exit -- CLI early-exit after the sim-only run *)
     exit 0);
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in

@@ -495,7 +495,7 @@ let serve_cmd =
       r.Core.Serve.cached_ns_per_point r.Core.Serve.hit_rate;
     match out with
     | Some path ->
-        Core.Serve.write_json ~path ~meta:(Core.Serve.metadata ()) [ r ];
+        Core.Serve.write_json ~path [ r ];
         Format.printf "report written to %s@." path
     | None -> ()
   in

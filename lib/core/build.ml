@@ -84,6 +84,39 @@ let simulate ~(config : Config.t) ~response sample =
         Array.of_seq
           (Seq.filter (fun i -> not have.(i)) (Seq.init n Fun.id))
       in
+      (* Fast path: a response with a batched evaluator (the simulator)
+         runs the missing points in [sim_batch]-sized fan-outs through
+         [Sim.Batch] — bit-identical to the pointwise path, so journals
+         written by either path replay into the other.  Each completed
+         chunk journals point by point; a crash forfeits at most one
+         chunk plus the current fsync batch. *)
+      match response.Response.eval_many with
+      | Some many when config.Config.sim_batch > 1 ->
+          let bs = config.Config.sim_batch in
+          let pos = ref 0 in
+          while !pos < Array.length missing do
+            Fault.point "sim.batch";
+            let len = min bs (Array.length missing - !pos) in
+            let idx = Array.sub missing !pos len in
+            let vals = many ?domains (Array.map (fun i -> sample.(i)) idx) in
+            Array.iteri
+              (fun k i ->
+                results.(i) <- vals.(k);
+                match journal with
+                | Some j ->
+                    Checkpoint.append j
+                      {
+                        Checkpoint.index = i;
+                        point = sample.(i);
+                        value = vals.(k);
+                      }
+                | None -> ())
+              idx;
+            pos := !pos + len
+          done;
+          Option.iter Checkpoint.close journal;
+          results
+      | Some _ | None ->
       let outcomes =
         Stats.Parallel.map_fallible ?domains ~retries:task_retries
           ?deadline:task_deadline
@@ -161,27 +194,6 @@ let train ?(config = Config.default) ~space ~response () =
     tune;
   }
 
-let config_of_args ?criterion ?p_min_grid ?alpha_grid ?(lhs_candidates = 100)
-    ?domains ~rng () =
-  let config = { Config.default with rng = Some rng; lhs_candidates; domains } in
-  let config =
-    match criterion with None -> config | Some c -> { config with criterion = c }
-  in
-  let config =
-    match p_min_grid with
-    | None -> config
-    | Some g -> { config with p_min_grid = g }
-  in
-  match alpha_grid with None -> config | Some g -> { config with alpha_grid = g }
-
-let train_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains ~rng
-    ~space ~response ~n () =
-  let config =
-    config_of_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
-      ~rng ()
-  in
-  train ~config:{ config with Config.sample_size = n } ~space ~response ()
-
 type step = {
   size : int;
   trained : trained;
@@ -224,13 +236,3 @@ let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
         else go (step :: acc) rest
   in
   go [] sizes
-
-let build_to_accuracy_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates
-    ?domains ~rng ~space ~response ~sizes ~test_points ~test_responses
-    ~target_mean_pct () =
-  let config =
-    config_of_args ?criterion ?p_min_grid ?alpha_grid ?lhs_candidates ?domains
-      ~rng ()
-  in
-  build_to_accuracy ~config ~space ~response ~sizes ~test_points
-    ~test_responses ~target_mean_pct ()

@@ -9,8 +9,7 @@
     the size schedule is exhausted.
 
     Both are configured by a {!Config.t} record (re-exported here as
-    [Build.Config]); the [*_args] wrappers keep the pre-record spellings
-    alive for one release. *)
+    [Build.Config]). *)
 
 module Config = Config
 
@@ -53,23 +52,16 @@ val train :
     collected — after every completed point is journaled — into one
     [Archpred (Infeasible _)] instead of poisoning the worker pool.  The
     stage's retry and failure counts flow into [config.obs] as the
-    ["pool.retries"] and ["pool.failed_tasks"] counters. *)
+    ["pool.retries"] and ["pool.failed_tasks"] counters.
 
-val train_args :
-  ?criterion:Archpred_rbf.Criteria.t ->
-  ?p_min_grid:int list ->
-  ?alpha_grid:float list ->
-  ?lhs_candidates:int ->
-  ?domains:int ->
-  rng:Archpred_stats.Rng.t ->
-  space:Archpred_design.Space.t ->
-  response:Response.t ->
-  n:int ->
-  unit ->
-  trained
-[@@ocaml.deprecated
-  "use Build.train with a Config.t (Config.default |> Config.with_* ...)"]
-(** Pre-[Config] spelling of {!train}, kept for one release. *)
+    {b Batched simulation.}  When the response carries a batched
+    evaluator ({!Response.t.eval_many} — the simulator responses do) and
+    [config.sim_batch > 1], the simulation stage runs missing points in
+    [sim_batch]-sized fan-outs through {!Archpred_sim.Batch}: the trace
+    is decoded once and shared across configurations.  The batched engine
+    is bit-identical to [Processor.run], so the trained model does not
+    depend on [sim_batch], and journals written by either path replay
+    into the other. *)
 
 type step = {
   size : int;
@@ -99,23 +91,3 @@ val build_to_accuracy :
     [config.checkpoint] set, each size journals to its own sidecar
     ([path.n<size>]).  Raises [Archpred (Invalid_input _)] on an empty
     size schedule. *)
-
-val build_to_accuracy_args :
-  ?criterion:Archpred_rbf.Criteria.t ->
-  ?p_min_grid:int list ->
-  ?alpha_grid:float list ->
-  ?lhs_candidates:int ->
-  ?domains:int ->
-  rng:Archpred_stats.Rng.t ->
-  space:Archpred_design.Space.t ->
-  response:Response.t ->
-  sizes:int list ->
-  test_points:Archpred_design.Space.point array ->
-  test_responses:float array ->
-  target_mean_pct:float ->
-  unit ->
-  history
-[@@ocaml.deprecated
-  "use Build.build_to_accuracy with a Config.t (Config.default |> \
-   Config.with_* ...)"]
-(** Pre-[Config] spelling of {!build_to_accuracy}, kept for one release. *)

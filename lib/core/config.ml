@@ -16,6 +16,7 @@ type t = {
   resume : bool;
   task_retries : int;
   task_deadline : float option;
+  sim_batch : int;
 }
 
 (* Table 4 of the paper finds the best leaf size is 1 or 2, and the best
@@ -39,6 +40,7 @@ let default =
     resume = true;
     task_retries = 1;
     task_deadline = None;
+    sim_batch = 16;
   }
 
 let with_seed seed t = { t with seed; rng = None }
@@ -56,6 +58,7 @@ let without_checkpoint t = { t with checkpoint = None }
 let with_resume resume t = { t with resume }
 let with_task_retries task_retries t = { t with task_retries }
 let with_task_deadline d t = { t with task_deadline = Some d }
+let with_sim_batch sim_batch t = { t with sim_batch }
 let rng_of t = match t.rng with Some rng -> rng | None -> Rng.create t.seed
 
 let validate t =
@@ -81,4 +84,6 @@ let validate t =
   | Some d when not (d > 0.) ->
       Obs.Error.invalid_input ~where:"Config" "task_deadline <= 0"
   | Some _ | None -> ());
+  if t.sim_batch < 1 then
+    Obs.Error.invalid_input ~where:"Config" "sim_batch < 1";
   t

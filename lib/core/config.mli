@@ -44,6 +44,10 @@ type t = {
       (** wall-clock seconds a simulation task may take before the
           attempt is failed with [Parallel.Deadline_exceeded];
           [None] = unlimited *)
+  sim_batch : int;
+      (** design points simulated per {!Archpred_sim.Batch} fan-out when
+          the response carries a batched evaluator (default 16); [1]
+          forces the pointwise reference path *)
 }
 
 val default : t
@@ -82,6 +86,10 @@ val with_resume : bool -> t -> t
 
 val with_task_retries : int -> t -> t
 val with_task_deadline : float -> t -> t
+
+val with_sim_batch : int -> t -> t
+(** Batch size for simulator-backed responses in {!Build.train}'s
+    simulation stage; bit-identical to the pointwise path at any value. *)
 
 val rng_of : t -> Archpred_stats.Rng.t
 (** The explicit generator when set, otherwise a fresh one from [seed].

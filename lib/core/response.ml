@@ -1,7 +1,14 @@
 module Space = Archpred_design.Space
 module Parallel = Archpred_stats.Parallel
+module Sim = Archpred_sim
 
-type t = { name : string; eval : Space.point -> float }
+type t = {
+  name : string;
+  eval : Space.point -> float;
+  eval_many : (?domains:int -> Space.point array -> float array) option;
+}
+
+let make ?eval_many name eval = { name; eval; eval_many }
 
 (* Memo key: the exact bit pattern of the coordinates. *)
 let key_of_point (p : Space.point) =
@@ -12,7 +19,7 @@ let key_of_point (p : Space.point) =
 (* The cache is shared across domains during [evaluate_many]; a mutex
    guards table accesses.  Concurrent misses of the same point may simulate
    twice — harmless, since simulation is deterministic. *)
-let memoized name f =
+let memoized ?many name f =
   let cache : (int * Space.point, float) Hashtbl.t = Hashtbl.create 256 in
   let lock = Mutex.create () in
   let with_lock g =
@@ -30,7 +37,38 @@ let memoized name f =
         with_lock (fun () -> Hashtbl.replace cache k v);
         v
   in
-  { name; eval }
+  (* Batched evaluation: answer hits from the memo, run the misses as one
+     batch (duplicates within a batch evaluate individually — redundant
+     but harmless, evaluation is deterministic), then fill the table. *)
+  let eval_many ?domains ps =
+    let out = Array.make (Array.length ps) 0. in
+    let misses = ref [] in
+    Array.iteri
+      (fun i p ->
+        let k = (key_of_point p, p) in
+        match with_lock (fun () -> Hashtbl.find_opt cache k) with
+        | Some v -> out.(i) <- v
+        | None -> misses := i :: !misses)
+      ps;
+    (match Array.of_list (List.rev !misses) with
+    | [||] -> ()
+    | idx ->
+        let pts = Array.map (fun i -> ps.(i)) idx in
+        let vals =
+          match many with
+          | Some g -> g ?domains pts
+          | None -> Parallel.map ?domains f pts
+        in
+        Array.iteri
+          (fun j i ->
+            let p = ps.(i) in
+            with_lock (fun () ->
+                Hashtbl.replace cache (key_of_point p, p) vals.(j));
+            out.(i) <- vals.(j))
+          idx);
+    out
+  in
+  { name; eval; eval_many = Some eval_many }
 
 type metric = Cpi | Energy_per_instruction | Energy_delay_product
 
@@ -40,9 +78,21 @@ let metric_to_string = function
   | Energy_delay_product -> "edp"
 
 let simulator_metric ?(obs = Archpred_obs.null) ?(trace_length = 100_000)
-    ?(seed = 42) ~metric (profile : Archpred_workloads.Profile.t) =
+    ?(seed = 42) ?(to_config = Paper_space.to_config) ~metric
+    (profile : Archpred_workloads.Profile.t) =
   let trace =
     Archpred_workloads.Generator.generate ~seed profile ~length:trace_length
+  in
+  (* The decoded streams are shared by every simulation of this response;
+     built on first use so responses that never simulate stay free. *)
+  let plan = lazy (Sim.Batch.plan trace) in
+  let of_result cfg (result : Sim.Processor.result) =
+    match metric with
+    | Cpi -> result.Sim.Processor.cpi
+    | Energy_per_instruction ->
+        (Sim.Power.estimate cfg result).Sim.Power.energy_per_instruction
+    | Energy_delay_product ->
+        (Sim.Power.estimate cfg result).Sim.Power.energy_delay_product
   in
   let raw p =
     (* Counted on cache misses only — memoised hits re-run nothing.  This
@@ -50,44 +100,42 @@ let simulator_metric ?(obs = Archpred_obs.null) ?(trace_length = 100_000)
        per-domain buffers, so no synchronisation happens here. *)
     Archpred_obs.incr obs "sim.runs";
     Archpred_obs.count obs "sim.instructions" trace_length;
-    let result = Archpred_sim.Processor.run (Paper_space.to_config p) trace in
-    match metric with
-    | Cpi -> result.Archpred_sim.Processor.cpi
-    | Energy_per_instruction ->
-        (Archpred_sim.Power.estimate (Paper_space.to_config p) result)
-          .Archpred_sim.Power.energy_per_instruction
-    | Energy_delay_product ->
-        (Archpred_sim.Power.estimate (Paper_space.to_config p) result)
-          .Archpred_sim.Power.energy_delay_product
+    let cfg = to_config p in
+    of_result cfg (Sim.Processor.run cfg trace)
   in
-  memoized (profile.name ^ ":" ^ metric_to_string metric) raw
+  (* The batched path decodes the trace once and fans the configs out;
+     [Sim.Batch] is bit-identical to [Processor.run], so memoised values
+     are the same whichever path computed them. *)
+  let raw_many ?domains ps =
+    Archpred_obs.count obs "sim.runs" (Array.length ps);
+    Archpred_obs.count obs "sim.instructions" (trace_length * Array.length ps);
+    let configs = Array.map to_config ps in
+    let results = Sim.Batch.run_plan ?domains (Lazy.force plan) configs in
+    Array.map2 of_result configs results
+  in
+  memoized ~many:raw_many (profile.name ^ ":" ^ metric_to_string metric) raw
 
-let simulator ?obs ?trace_length ?seed profile =
-  simulator_metric ?obs ?trace_length ?seed ~metric:Cpi profile
+let simulator ?obs ?trace_length ?seed ?to_config profile =
+  simulator_metric ?obs ?trace_length ?seed ?to_config ~metric:Cpi profile
 
-let evaluate_many ?domains t points = Parallel.map ?domains t.eval points
+let evaluate_many ?domains t points =
+  match t.eval_many with
+  | Some f -> f ?domains points
+  | None -> Parallel.map ?domains t.eval points
 
 let synthetic_smooth ~dim =
-  {
-    name = "synthetic-smooth";
-    eval =
-      (fun x ->
-        if Array.length x <> dim then invalid_arg "synthetic_smooth: arity";
-        let a = x.(0) and b = if dim > 1 then x.(1) else 0.5 in
-        let c = if dim > 2 then x.(2) else 0.5 in
-        1.
-        +. exp (-2. *. a)
-        +. (0.8 *. b *. b)
-        +. (0.5 *. sin (3. *. c))
-        +. (0.6 *. a *. b));
-  }
+  make "synthetic-smooth" (fun x ->
+      if Array.length x <> dim then invalid_arg "synthetic_smooth: arity";
+      let a = x.(0) and b = if dim > 1 then x.(1) else 0.5 in
+      let c = if dim > 2 then x.(2) else 0.5 in
+      1.
+      +. exp (-2. *. a)
+      +. (0.8 *. b *. b)
+      +. (0.5 *. sin (3. *. c))
+      +. (0.6 *. a *. b))
 
 let synthetic_cliff ~dim =
-  {
-    name = "synthetic-cliff";
-    eval =
-      (fun x ->
-        if Array.length x <> dim then invalid_arg "synthetic_cliff: arity";
-        let base = 1. +. (0.3 *. x.(min 1 (dim - 1))) in
-        if x.(0) < 0.35 then base +. 2.5 else base);
-  }
+  make "synthetic-cliff" (fun x ->
+      if Array.length x <> dim then invalid_arg "synthetic_cliff: arity";
+      let base = 1. +. (0.3 *. x.(min 1 (dim - 1))) in
+      if x.(0) < 0.35 then base +. 2.5 else base)

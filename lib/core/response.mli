@@ -9,12 +9,28 @@
 type t = {
   name : string;
   eval : Archpred_design.Space.point -> float;
+  eval_many :
+    (?domains:int -> Archpred_design.Space.point array -> float array) option;
+      (** Batched evaluator, when the response has one.  Must agree
+          bit-for-bit with mapping {!field-eval} over the batch; callers
+          reach it through {!evaluate_many}, which falls back to a
+          pointwise map when absent. *)
 }
+
+val make :
+  ?eval_many:
+    (?domains:int -> Archpred_design.Space.point array -> float array) ->
+  string ->
+  (Archpred_design.Space.point -> float) ->
+  t
+(** [make name eval] builds a response; [?eval_many] installs a batched
+    evaluator (omitted: {!evaluate_many} maps [eval] pointwise). *)
 
 val simulator :
   ?obs:Archpred_obs.t ->
   ?trace_length:int ->
   ?seed:int ->
+  ?to_config:(Archpred_design.Space.point -> Archpred_sim.Config.t) ->
   Archpred_workloads.Profile.t ->
   t
 (** CPI of the benchmark's synthetic trace, simulated at the decoded
@@ -22,7 +38,15 @@ val simulator :
     (default 100_000 instructions) and reused at every design point, as a
     trace-driven simulator would.  Results are memoised per point; each
     cache miss bumps the ["sim.runs"] and ["sim.instructions"] counters on
-    [obs] (domain-safe — evaluation happens on worker domains). *)
+    [obs] (domain-safe — evaluation happens on worker domains).
+
+    The response carries a batched evaluator built on {!Archpred_sim.Batch}:
+    {!evaluate_many} decodes the trace once and fans un-memoised points out
+    across configurations (bit-identical to the pointwise path).
+
+    [to_config] decodes points into simulator configurations (default
+    {!Paper_space.to_config}); pass {!Paper_space.to_config_extended} to
+    train over the ten-axis space with the cache-policy dimension. *)
 
 type metric = Cpi | Energy_per_instruction | Energy_delay_product
 (** Simulated response metrics.  The paper's conclusion points at power as
@@ -35,6 +59,7 @@ val simulator_metric :
   ?obs:Archpred_obs.t ->
   ?trace_length:int ->
   ?seed:int ->
+  ?to_config:(Archpred_design.Space.point -> Archpred_sim.Config.t) ->
   metric:metric ->
   Archpred_workloads.Profile.t ->
   t
@@ -43,9 +68,10 @@ val simulator_metric :
 
 val evaluate_many :
   ?domains:int -> t -> Archpred_design.Space.point array -> float array
-(** Evaluate a batch of points, in parallel across domains when the
-    response is simulator-backed (it is pure).  Memoised points are not
-    re-simulated. *)
+(** Evaluate a batch of points.  Simulator-backed responses route through
+    the batched {!Archpred_sim.Batch} engine (trace decoded once, configs
+    fanned out over domains); other responses map {!field-eval} in parallel
+    across domains.  Memoised points are not re-simulated. *)
 
 val synthetic_smooth : dim:int -> t
 (** A smooth non-linear surface with interactions: exercises the whole

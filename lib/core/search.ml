@@ -21,16 +21,29 @@ let minimize ?(config = Config.default) ?(scan = 2000) ?(refine_iters = 50)
     incr evals;
     Predictor.predict predictor p
   in
+  (* Broad scan, batched: draw every candidate first (same generator
+     stream as the old draw/predict interleaving — prediction never
+     touches the rng), then one packed-kernel pass over the feasible
+     ones.  [predict_batch] is bit-identical to [predict] and the
+     arg-min keeps the earliest candidate on ties, so the incumbent
+     matches the old pointwise scan exactly. *)
+  let candidates = Array.make scan [||] in
+  for i = 0 to scan - 1 do
+    candidates.(i) <- Array.init dim (fun _ -> Rng.unit_float rng)
+  done;
+  let feas =
+    Array.of_list (List.filter feasible (Array.to_list candidates))
+  in
+  let scanned = Predictor.predict_batch ~obs predictor feas in
+  evals := !evals + Array.length feas;
   let best = ref None in
-  for _ = 1 to scan do
-    let p = Array.init dim (fun _ -> Rng.unit_float rng) in
-    if feasible p then begin
-      let v = value p in
+  Array.iteri
+    (fun i p ->
+      let v = scanned.(i) in
       match !best with
       | Some (_, bv) when bv <= v -> ()
-      | Some _ | None -> best := Some (p, v)
-    end
-  done;
+      | Some _ | None -> best := Some (p, v))
+    feas;
   match !best with
   | None ->
       Obs.count obs "search.evaluations" !evals;
@@ -60,8 +73,3 @@ let minimize ?(config = Config.default) ?(scan = 2000) ?(refine_iters = 50)
       done;
       Obs.count obs "search.evaluations" !evals;
       { point; predicted = !best_v; evaluations = !evals }
-
-let minimize_args ?scan ?refine_iters ?constraint_ ~rng ~predictor () =
-  minimize
-    ~config:(Config.with_rng rng Config.default)
-    ?scan ?refine_iters ?constraint_ ~predictor ()

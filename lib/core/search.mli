@@ -22,21 +22,11 @@ val minimize :
   unit ->
   result
 (** Find the design point with the lowest predicted response: [scan]
-    (default 2000) random feasible points, then [refine_iters] (default 50)
-    rounds of per-dimension refinement around the incumbent.  The random
-    scan draws from [config]'s generator ({!Config.rng_of}); the
-    ["search.minimize"] span and ["search.evaluations"] counter go to
-    [config.obs].  Raises [Archpred (Infeasible _)] if no scanned point
-    satisfies the constraint. *)
-
-val minimize_args :
-  ?scan:int ->
-  ?refine_iters:int ->
-  ?constraint_:(Archpred_design.Space.point -> bool) ->
-  rng:Archpred_stats.Rng.t ->
-  predictor:Predictor.t ->
-  unit ->
-  result
-[@@ocaml.deprecated
-  "use Search.minimize with a Config.t (Config.with_rng rng Config.default)"]
-(** Pre-[Config] spelling of {!minimize}, kept for one release. *)
+    (default 2000) random feasible points — predicted in one
+    {!Predictor.predict_batch} pass over the packed kernel — then
+    [refine_iters] (default 50) rounds of per-dimension refinement around
+    the incumbent.  The random scan draws from [config]'s generator
+    ({!Config.rng_of}); the ["search.minimize"] span and
+    ["search.evaluations"] counter go to [config.obs].  Raises
+    [Archpred (Infeasible _)] if no scanned point satisfies the
+    constraint. *)

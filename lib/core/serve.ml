@@ -168,23 +168,8 @@ let run ?(obs = Obs.null) ~predictor config =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Metadata and the BENCH_serve.json shape                            *)
+(* The BENCH_serve.json shape                                         *)
 (* ------------------------------------------------------------------ *)
-
-let git_describe () =
-  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
-  | exception Unix.Unix_error (_, _, _) -> "unknown"
-  | ic ->
-      let line = try Some (input_line ic) with End_of_file -> None in
-      ignore (Unix.close_process_in ic);
-      (match line with Some l when String.trim l <> "" -> String.trim l | _ -> "unknown")
-
-let metadata () =
-  [
-    ("domains", Json.Int (Stats.Parallel.default_domains ()));
-    ("git_describe", Json.String (git_describe ()));
-    ("simd", Json.String (Rbf.Batch_kernel.simd_level ()));
-  ]
 
 let json_of_result r =
   Json.Obj
@@ -211,13 +196,12 @@ let json_of_result r =
       ("checksum", Json.Float r.checksum);
     ]
 
-let json ~meta results =
-  Json.Obj
-    ((("schema", Json.String "archpred-serve-v1") :: meta)
-    @ [ ("runs", Json.List (List.map json_of_result results)) ])
+let schema = "archpred-serve-v1"
 
-let write_json ~path ~meta results =
-  let oc = open_out path in
-  output_string oc (Json.to_string (json ~meta results));
-  output_char oc '\n';
-  close_out oc
+let json results =
+  Bench_report.obj ~schema
+    [ ("runs", Json.List (List.map json_of_result results)) ]
+
+let write_json ~path results =
+  Bench_report.write ~path ~schema
+    [ ("runs", Json.List (List.map json_of_result results)) ]

@@ -42,20 +42,11 @@ val run : ?obs:Archpred_obs.t -> predictor:Predictor.t -> config -> result
     degenerate config, or if the cached and uncached paths ever
     disagree bitwise (which would be a kernel or cache bug). *)
 
-val metadata : unit -> (string * Archpred_obs.Json.t) list
-(** Environment stamp shared by the bench JSON reports: default domain
-    count, [git describe] output (or ["unknown"]), and the SIMD level
-    the kernel dispatched to. *)
-
 val json_of_result : result -> Archpred_obs.Json.t
 
-val json :
-  meta:(string * Archpred_obs.Json.t) list -> result list -> Archpred_obs.Json.t
-(** Whole-report object: [schema = "archpred-serve-v1"], the metadata
-    fields, then a [runs] list of {!json_of_result} objects. *)
+val json : result list -> Archpred_obs.Json.t
+(** Whole-report object: the {!Bench_report} envelope with
+    [schema = "archpred-serve-v1"], then a [runs] list of
+    {!json_of_result} objects. *)
 
-val write_json :
-  path:string ->
-  meta:(string * Archpred_obs.Json.t) list ->
-  result list ->
-  unit
+val write_json : path:string -> result list -> unit

@@ -63,11 +63,3 @@ let tune ?(config = Config.default) ~dim ~points ~responses () =
     if results.(i).criterion < !best.criterion then best := results.(i)
   done;
   !best
-
-let tune_args ?(criterion = Rbf.Criteria.Aicc)
-    ?(p_min_grid = default_p_min_grid) ?(alpha_grid = default_alpha_grid)
-    ?domains ~dim ~points ~responses () =
-  let config =
-    { Config.default with criterion; p_min_grid; alpha_grid; domains }
-  in
-  tune ~config ~dim ~points ~responses ()

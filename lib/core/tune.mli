@@ -34,17 +34,3 @@ val tune :
     {!Config.default}); records the ["build.tune"] span and the
     ["tune.cells"] counter, and threads [obs] into tree growth and center
     selection.  Raises [Archpred (Invalid_input _)] on an empty grid. *)
-
-val tune_args :
-  ?criterion:Archpred_rbf.Criteria.t ->
-  ?p_min_grid:int list ->
-  ?alpha_grid:float list ->
-  ?domains:int ->
-  dim:int ->
-  points:float array array ->
-  responses:float array ->
-  unit ->
-  result
-[@@ocaml.deprecated
-  "use Tune.tune with a Config.t (Config.default |> Config.with_* ...)"]
-(** Pre-[Config] spelling of {!tune}, kept for one release. *)

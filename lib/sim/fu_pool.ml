@@ -86,6 +86,13 @@ let roll_cycle t cycle =
     t.granted_cycle <- cycle
   end
 
+(* Unpipelined: find a unit whose busy window has passed.  Top-level so
+   each attempt is closure-free; returns the unit index or -1. *)
+let rec free_unit units cycle i =
+  if i >= Array.length units then -1
+  else if units.(i) <= cycle then i
+  else free_unit units cycle (i + 1)
+
 let try_issue t ~cycle cls =
   roll_cycle t cycle;
   let idx = class_index cls in
@@ -99,20 +106,14 @@ let try_issue t ~cycle cls =
       false
     end
   else begin
-    (* Unpipelined: find a unit whose busy window has passed. *)
     let units = t.busy_until.(idx) in
-    let rec scan i =
-      if i >= Array.length units then begin
+    match free_unit units cycle 0 with
+    | -1 ->
         t.refused <- t.refused + 1;
         false
-      end
-      else if units.(i) <= cycle then begin
+    | i ->
         units.(i) <- cycle + latency t.cfg cls;
         true
-      end
-      else scan (i + 1)
-    in
-    scan 0
   end
 
 let structural_stalls t = t.refused

@@ -52,7 +52,7 @@ let () =
   in
   let result = Core.Serve.run ~predictor config in
   let path = "smoke_serve.json" in
-  Core.Serve.write_json ~path ~meta:(Core.Serve.metadata ()) [ result ];
+  Core.Serve.write_json ~path [ result ];
   let ic = open_in path in
   let text = In_channel.input_all ic in
   close_in ic;

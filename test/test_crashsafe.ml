@@ -38,13 +38,9 @@ let rm path = try Sys.remove path with Sys_error _ -> ()
 let counted_response () =
   let evals = Atomic.make 0 in
   let base = Response.synthetic_smooth ~dim:9 in
-  ( {
-      Response.name = base.Response.name;
-      eval =
-        (fun p ->
-          Atomic.incr evals;
-          base.Response.eval p);
-    },
+  ( Response.make base.Response.name (fun p ->
+        Atomic.incr evals;
+        base.Response.eval p),
     evals )
 
 let base_config ?(domains = 1) () =

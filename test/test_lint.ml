@@ -94,6 +94,8 @@ let test_unsafe_index () =
     (rules_of (scan "let f a i = Bigarray.Array1.unsafe_get a i\n"));
   Alcotest.check srules "open-Bigarray variant detected" [ "unsafe-index" ]
     (rules_of (scan "let f a i v = Array2.unsafe_set a i 0 v\n"));
+  Alcotest.check srules "Bytes variant detected" [ "unsafe-index" ]
+    (rules_of (scan "let f b i = Bytes.unsafe_get b i\n"));
   (* ... plain Array.unsafe_* stays legal (checked hot loops in linalg) *)
   Alcotest.check srules "plain Array.unsafe_get is not this rule" []
     (rules_of (scan "let f a = Array.unsafe_get a 0\n"));
@@ -107,6 +109,13 @@ let test_unsafe_index () =
       "let f a i v = Bigarray.Array1.unsafe_set a i v\n"
   in
   Alcotest.check srules "batch kernel may skip bounds checks" []
+    (rules_of findings);
+  (* ... as is the batched simulation engine *)
+  let findings =
+    Lint.scan_string ~scope:Lint.Lib ~rel:"lib/sim/batch.ml" ~mli_exists:true
+      ~filename:"batch.ml" "let f b i = Bytes.unsafe_set b i 'x'\n"
+  in
+  Alcotest.check srules "sim batch engine may skip bounds checks" []
     (rules_of findings)
 
 (* --- pragma meta-rules --- *)

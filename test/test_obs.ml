@@ -136,7 +136,7 @@ let test_counter_merge_deterministic () =
 let test_instrumentation_preserves_training () =
   (* the regression the tentpole promises: a silent sink (or any sink)
      must leave the trained predictor bit-identical to an uninstrumented
-     run, and to the deprecated spread-argument wrapper *)
+     run, and to a run configured through an explicit generator *)
   Unix.putenv "ARCHPRED_DOMAINS" "2";
   let response = Response.synthetic_smooth ~dim:9 in
   let train obs =
@@ -152,9 +152,14 @@ let test_instrumentation_preserves_training () =
   let silent = train (Obs.create ()) in
   let sink, _ = Sink.memory () in
   let streamed = train (Obs.create ~sink ()) in
-  let legacy =
-    Build.train_args ~lhs_candidates:10 ~rng:(Rng.create 5)
-      ~space:Paper_space.space ~response ~n:30 ()
+  let explicit_rng =
+    Build.train
+      ~config:
+        (Config.default
+        |> Config.with_rng (Rng.create 5)
+        |> Config.with_sample_size 30
+        |> Config.with_lhs_candidates 10)
+      ~space:Paper_space.space ~response ()
   in
   let rng = Rng.create 77 in
   for _ = 1 to 20 do
@@ -164,7 +169,11 @@ let test_instrumentation_preserves_training () =
       (fun (name, t) ->
         Alcotest.(check (float 0.)) name expect
           (Core.Predictor.predict t.Build.predictor p))
-      [ ("silent sink", silent); ("memory sink", streamed); ("legacy args", legacy) ]
+      [
+        ("silent sink", silent);
+        ("memory sink", streamed);
+        ("explicit rng", explicit_rng);
+      ]
   done
 
 (* ---------- ARCHPRED_DOMAINS parsing ---------- *)

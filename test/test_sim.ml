@@ -88,8 +88,9 @@ let test_trace_validate_misaligned () =
 
 (* ---------- Cache ---------- *)
 
-let cache_cfg ?(size = 1024) ?(line = 64) ?(assoc = 2) ?(latency = 2) () =
-  Cache.config ~size_bytes:size ~line_bytes:line ~associativity:assoc ~latency
+let cache_cfg ?policy ?(size = 1024) ?(line = 64) ?(assoc = 2) ?(latency = 2) () =
+  Cache.config ?policy ~size_bytes:size ~line_bytes:line ~associativity:assoc
+    ~latency ()
 
 let test_cache_cold_miss_then_hit () =
   let c = Cache.create (cache_cfg ()) in
@@ -144,7 +145,9 @@ let test_cache_invalidate () =
 let test_cache_config_invalid () =
   Alcotest.check_raises "bad line"
     (Invalid_argument "Cache.config: line size not a power of two") (fun () ->
-      ignore (Cache.config ~size_bytes:1024 ~line_bytes:48 ~associativity:2 ~latency:1))
+      ignore
+        (Cache.config ~size_bytes:1024 ~line_bytes:48 ~associativity:2
+           ~latency:1 ()))
 
 (* ---------- Branch predictor ---------- *)
 
@@ -607,6 +610,247 @@ let test_tournament_not_worse () =
   (* the tournament should be at least roughly as good as bimodal alone *)
   Alcotest.(check bool) "tournament competitive" true (t >= b -. 0.03)
 
+(* ---------- Replacement policies: hand-computed hit/miss traces ---------- *)
+
+let test_policy_roundtrip () =
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (match Cache.Policy.of_string (Cache.Policy.to_string p) with
+        | Some q -> q = p
+        | None -> false))
+    Cache.Policy.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Cache.Policy.of_string "random" = None)
+
+let test_policy_tree_plru_needs_pow2 () =
+  Alcotest.check_raises "3-way tree"
+    (Invalid_argument "Cache.config: tree-plru needs power-of-two associativity")
+    (fun () ->
+      ignore
+        (Cache.config ~policy:Cache.Policy.Tree_plru ~size_bytes:(3 * 64)
+           ~line_bytes:64 ~associativity:3 ~latency:1 ()))
+
+(* Tree-PLRU, 4 ways, one set.  Fill A B C D, re-touch A, then miss E:
+   the decision tree points at way 2 (C), where true LRU would evict B. *)
+let test_policy_tree_plru_trace () =
+  let c =
+    Cache.create
+      (cache_cfg ~policy:Cache.Policy.Tree_plru ~size:(64 * 4) ~assoc:4 ())
+  in
+  let a, b, d, e = (0, 64, 192, 256) in
+  let cc = 128 in
+  List.iter (fun x -> ignore (Cache.access c x)) [ a; b; cc; d ];
+  Alcotest.(check bool) "A hits" true (Cache.access c a);
+  Alcotest.(check bool) "E misses" false (Cache.access c e);
+  Alcotest.(check bool) "C evicted" false (Cache.probe c cc);
+  Alcotest.(check bool) "A stays" true (Cache.probe c a);
+  Alcotest.(check bool) "B stays" true (Cache.probe c b);
+  Alcotest.(check bool) "D stays" true (Cache.probe c d);
+  (* next victim: root points left, left node points right -> way 1 (B) *)
+  Alcotest.(check bool) "F misses" false (Cache.access c 320);
+  Alcotest.(check bool) "B evicted" false (Cache.probe c b)
+
+(* QLRU, 2 ways, one set.  A B fill at age 1; hitting both promotes to
+   age 0; the miss on C ages both to 3 and evicts the *leftmost* (A),
+   where true LRU would evict B. *)
+let test_policy_qlru_trace () =
+  let qlru = cache_cfg ~policy:Cache.Policy.Qlru ~size:(64 * 2) ~assoc:2 in
+  let c = Cache.create (qlru ()) in
+  let a, b, e = (0, 64, 128) in
+  Alcotest.(check bool) "A cold" false (Cache.access c a);
+  Alcotest.(check bool) "B cold" false (Cache.access c b);
+  Alcotest.(check bool) "B hit" true (Cache.access c b);
+  Alcotest.(check bool) "A hit" true (Cache.access c a);
+  Alcotest.(check bool) "C miss" false (Cache.access c e);
+  Alcotest.(check bool) "A evicted (leftmost age 3)" false (Cache.probe c a);
+  Alcotest.(check bool) "B stays" true (Cache.probe c b);
+  (* same stream under LRU evicts B, not A *)
+  let l = Cache.create (cache_cfg ~size:(64 * 2) ~assoc:2 ()) in
+  List.iter (fun x -> ignore (Cache.access l x)) [ a; b; b; a; e ];
+  Alcotest.(check bool) "LRU keeps A" true (Cache.probe l a);
+  Alcotest.(check bool) "LRU evicts B" false (Cache.probe l b)
+
+(* QLRU insertion age: a freshly filled line (age 1) survives a miss
+   that evicts an aged line. *)
+let test_policy_qlru_insertion () =
+  let c =
+    Cache.create (cache_cfg ~policy:Cache.Policy.Qlru ~size:(64 * 2) ~assoc:2 ())
+  in
+  List.iter (fun x -> ignore (Cache.access c x)) [ 0; 64; 0 ];
+  (* ages: way0 (A) = 0, way1 (B) = 1; miss ages to 2/3: B evicted *)
+  Alcotest.(check bool) "C miss" false (Cache.access c 128);
+  Alcotest.(check bool) "B evicted" false (Cache.probe c 64);
+  Alcotest.(check bool) "A stays" true (Cache.probe c 0)
+
+(* MRU (bit-PLRU), 4 ways, one set.  Filling A B C D sets every MRU bit;
+   the global flip on D leaves only D's bit, so E evicts the leftmost
+   clear way (A); after touching B, F evicts C. *)
+let test_policy_mru_trace () =
+  let c =
+    Cache.create (cache_cfg ~policy:Cache.Policy.Mru ~size:(64 * 4) ~assoc:4 ())
+  in
+  let a, b, d, e = (0, 64, 192, 256) in
+  let cc = 128 in
+  List.iter (fun x -> ignore (Cache.access c x)) [ a; b; cc; d ];
+  Alcotest.(check bool) "E misses" false (Cache.access c e);
+  Alcotest.(check bool) "A evicted" false (Cache.probe c a);
+  Alcotest.(check bool) "B hit" true (Cache.access c b);
+  Alcotest.(check bool) "F misses" false (Cache.access c 320);
+  Alcotest.(check bool) "C evicted" false (Cache.probe c cc);
+  Alcotest.(check bool) "D stays" true (Cache.probe c d)
+
+let test_policy_default_is_lru () =
+  Alcotest.(check bool) "constructor default" true
+    ((cache_cfg ()).Cache.policy = Cache.Policy.Lru);
+  Alcotest.(check bool) "config default" true
+    (Config.default.Config.cache_policy = Cache.Policy.Lru)
+
+(* ---------- Batched multi-config simulation ---------- *)
+
+module Batch = Sim.Batch
+
+(* A deterministic spread of valid configs covering ROB/queue sizes,
+   pipe depths, cache geometries and all four replacement policies. *)
+let batch_configs b salt =
+  Array.init b (fun k ->
+      let j = salt + (7 * k) in
+      let rob = 16 + (8 * (j mod 9)) in
+      Config.make
+        ~cache_policy:Cache.Policy.all.(j mod 4)
+        ~pipe_depth:(7 + (j mod 12))
+        ~rob_size:rob
+        ~iq_size:(max 1 (rob / 2))
+        ~lsq_size:(max 1 (rob / 2))
+        ~l2_size:((1 lsl 17) + (65536 * (j mod 8)))
+        ~l2_latency:(8 + (j mod 6))
+        ~il1_size:(8192 lsl (j mod 3))
+        ~dl1_size:(8192 lsl (j mod 3))
+        ~dl1_latency:(1 + (j mod 4))
+        ())
+
+let results_equal (a : Processor.result) (b : Processor.result) =
+  let feq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  a.Processor.instructions = b.Processor.instructions
+  && a.Processor.cycles = b.Processor.cycles
+  && a.Processor.dram_accesses = b.Processor.dram_accesses
+  && a.Processor.dispatch_stall_rob = b.Processor.dispatch_stall_rob
+  && a.Processor.dispatch_stall_iq = b.Processor.dispatch_stall_iq
+  && a.Processor.dispatch_stall_lsq = b.Processor.dispatch_stall_lsq
+  && a.Processor.fetch_stall_icache = b.Processor.fetch_stall_icache
+  && a.Processor.fetch_stall_branch = b.Processor.fetch_stall_branch
+  && feq a.Processor.cpi b.Processor.cpi
+  && feq a.Processor.branch_accuracy b.Processor.branch_accuracy
+  && feq a.Processor.il1_miss_rate b.Processor.il1_miss_rate
+  && feq a.Processor.dl1_miss_rate b.Processor.dl1_miss_rate
+  && feq a.Processor.l2_miss_rate b.Processor.l2_miss_rate
+  && feq a.Processor.dram_avg_latency b.Processor.dram_avg_latency
+  && feq a.Processor.avg_rob_occupancy b.Processor.avg_rob_occupancy
+  && feq a.Processor.avg_iq_occupancy b.Processor.avg_iq_occupancy
+  && feq a.Processor.avg_lsq_occupancy b.Processor.avg_lsq_occupancy
+
+let check_batch_vs_reference ?(warm = true) ?domains msg configs trace =
+  let batch = Batch.run ~warm ?domains configs trace in
+  Array.iteri
+    (fun i cfg ->
+      let reference = Processor.run ~warm cfg trace in
+      if not (results_equal reference batch.(i)) then
+        Alcotest.failf "%s: config %d diverges:@.ref   %a@.batch %a" msg i
+          Processor.pp_result reference Processor.pp_result batch.(i))
+    configs
+
+let test_batch_bit_identity () =
+  List.iter
+    (fun b ->
+      let trace =
+        Archpred_workloads.Generator.generate ~seed:(40 + b)
+          Archpred_workloads.Spec2000.mcf ~length:2_000
+      in
+      check_batch_vs_reference
+        (Printf.sprintf "batch size %d" b)
+        (batch_configs b b) trace)
+    [ 1; 7; 16; 64 ]
+
+let test_batch_bit_identity_cold () =
+  let trace =
+    Archpred_workloads.Generator.generate ~seed:11
+      Archpred_workloads.Spec2000.crafty ~length:2_000
+  in
+  check_batch_vs_reference ~warm:false "cold batch" (batch_configs 7 3) trace
+
+let test_batch_domain_independence () =
+  let trace =
+    Archpred_workloads.Generator.generate ~seed:5
+      Archpred_workloads.Spec2000.twolf ~length:2_000
+  in
+  let configs = batch_configs 16 1 in
+  let one = Batch.run ~domains:1 configs trace in
+  let four = Batch.run ~domains:4 configs trace in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "config %d domain-independent" i)
+        true (results_equal r four.(i)))
+    one;
+  check_batch_vs_reference ~domains:4 "4 domains vs reference" configs trace
+
+let test_batch_plan_reuse () =
+  let trace =
+    Archpred_workloads.Generator.generate ~seed:2
+      Archpred_workloads.Spec2000.parser ~length:1_500
+  in
+  let p = Batch.plan trace in
+  Alcotest.(check int) "plan length" 1_500 (Batch.length p);
+  let configs = batch_configs 4 9 in
+  let r1 = Batch.run_plan p configs in
+  let r2 = Batch.run_plan p configs in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d reusable" i)
+        true (results_equal r r2.(i)))
+    r1
+
+let test_batch_cycle_limit () =
+  let trace = uniform_trace 100 in
+  Alcotest.(check bool) "raises like the reference" true
+    (match Batch.run ~max_cycles:3 [| Config.default |] trace with
+    | exception Processor.Cycle_limit_exceeded 4 -> true
+    | _ -> false)
+
+let test_batch_empty () =
+  let trace = uniform_trace 10 in
+  Alcotest.(check int) "no configs" 0 (Array.length (Batch.run [||] trace))
+
+let test_batch_invalid_config () =
+  let trace = uniform_trace 10 in
+  let bad = { Config.default with Config.rob_size = 1 } in
+  Alcotest.(check bool) "invalid rejected" true
+    (match Batch.run [| bad |] trace with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_batch_bit_identity =
+  qtest ~count:12 "Batch.run == Processor.run (random traces)"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 3))
+    (fun (seed, pidx) ->
+      let profile =
+        [|
+          Archpred_workloads.Spec2000.mcf;
+          Archpred_workloads.Spec2000.crafty;
+          Archpred_workloads.Spec2000.twolf;
+          Archpred_workloads.Spec2000.parser;
+        |].(pidx)
+      in
+      let trace =
+        Archpred_workloads.Generator.generate ~seed profile ~length:1_000
+      in
+      let configs = batch_configs 5 seed in
+      let batch = Batch.run configs trace in
+      Array.for_all2
+        (fun cfg r -> results_equal (Processor.run cfg trace) r)
+        configs batch)
+
 let () =
   Alcotest.run "sim"
     [
@@ -633,6 +877,27 @@ let () =
           Alcotest.test_case "non-pow2 sets" `Quick test_cache_non_pow2_sets;
           Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
           Alcotest.test_case "config validation" `Quick test_cache_config_invalid;
+        ] );
+      ( "cache_policy",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_policy_roundtrip;
+          Alcotest.test_case "tree-plru pow2 only" `Quick test_policy_tree_plru_needs_pow2;
+          Alcotest.test_case "tree-plru trace" `Quick test_policy_tree_plru_trace;
+          Alcotest.test_case "qlru trace" `Quick test_policy_qlru_trace;
+          Alcotest.test_case "qlru insertion age" `Quick test_policy_qlru_insertion;
+          Alcotest.test_case "mru trace" `Quick test_policy_mru_trace;
+          Alcotest.test_case "default is lru" `Quick test_policy_default_is_lru;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "bit identity {1,7,16,64}" `Quick test_batch_bit_identity;
+          Alcotest.test_case "bit identity cold" `Quick test_batch_bit_identity_cold;
+          Alcotest.test_case "domain independence" `Quick test_batch_domain_independence;
+          Alcotest.test_case "plan reuse" `Quick test_batch_plan_reuse;
+          Alcotest.test_case "cycle limit" `Quick test_batch_cycle_limit;
+          Alcotest.test_case "empty batch" `Quick test_batch_empty;
+          Alcotest.test_case "invalid config" `Quick test_batch_invalid_config;
+          prop_batch_bit_identity;
         ] );
       ( "branch_predictor",
         [

@@ -126,10 +126,11 @@ let ident_rule ~scope parts =
         ( "unsafe-cast",
           "`" ^ String.concat "." parts
           ^ "` is unversioned binary persistence; use Persist/Checkpoint" )
-  (* Bounds-unchecked accessors on Bigarray / Float.Array.  Plain
-     [Array.unsafe_*] stays legal (hot linalg loops use it after
-     explicit dimension checks); the raw-memory variants are confined
-     to the batch kernel, which validates once per batch. *)
+  (* Bounds-unchecked accessors on Bigarray / Float.Array / Bytes.
+     Plain [Array.unsafe_*] stays legal (hot linalg loops use it after
+     explicit dimension checks); the raw-memory and byte-string
+     variants are confined to the sanctioned batch kernels, which
+     validate their index ranges once per batch. *)
   | normalized when in_scope [ Lib ] -> (
       match List.rev normalized with
       | last :: mods
@@ -139,14 +140,16 @@ let ident_rule ~scope parts =
                      List.mem m
                        [ "Bigarray"; "Array1"; "Array2"; "Array3"; "Genarray" ])
                    mods
+                || List.mem "Bytes" mods
                 ||
                 match mods with "Array" :: "Float" :: _ -> true | _ -> false)
         ->
           Some
             ( "unsafe-index",
               "`" ^ String.concat "." parts
-              ^ "` skips bounds checks; only the batch kernel \
-                 (lib/rbf/batch_kernel.ml) may do that" )
+              ^ "` skips bounds checks; only the sanctioned batch \
+                 kernels (rbf/batch_kernel, sim/batch, core/memo) may \
+                 do that" )
       | _ -> None)
   | _ -> None
 
@@ -406,7 +409,10 @@ let sanctioned rule rel =
   | "random-global" ->
       path_has_suffix rel "stats/rng.ml" || path_has_suffix rel "stats/rng.mli"
   | "wall-clock" -> path_has_prefix rel "lib/obs/"
-  | "unsafe-index" -> path_has_suffix rel "rbf/batch_kernel.ml"
+  | "unsafe-index" ->
+      path_has_suffix rel "rbf/batch_kernel.ml"
+      || path_has_suffix rel "sim/batch.ml"
+      || path_has_suffix rel "core/memo.ml"
   | _ -> false
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,17 @@
+module Cache = Archpred_sim.Cache
+let () =
+  (* MRU, direct-mapped (assoc=1), 2 sets of 64B lines *)
+  let cfg = Cache.config ~policy:Cache.Policy.Mru ~size_bytes:128 ~line_bytes:64 ~associativity:1 ~latency:1 () in
+  let c = Cache.create cfg in
+  ignore (Cache.access c 0);      (* set 0, tag 0: fill *)
+  ignore (Cache.access c 128);    (* set 0, tag 2: miss, must evict way 0 of set 0 *)
+  (* now access set 1's own line and re-check set 0 *)
+  ignore (Cache.access c 64);     (* set 1, tag 1 *)
+  Printf.printf "set0 holds tag2 (expect true): %b\n" (Cache.probe c 128);
+  Printf.printf "set1 holds tag1 (expect true): %b\n" (Cache.probe c 64);
+  (* single-set case: out-of-bounds *)
+  let cfg1 = Cache.config ~policy:Cache.Policy.Mru ~size_bytes:64 ~line_bytes:64 ~associativity:1 ~latency:1 () in
+  let c1 = Cache.create cfg1 in
+  ignore (Cache.access c1 0);
+  (try ignore (Cache.access c1 64); print_endline "second fill ok"
+   with e -> Printf.printf "EXCEPTION: %s\n" (Printexc.to_string e))

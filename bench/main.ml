@@ -293,8 +293,48 @@ let run_micro () =
 
 (* Sweep batch sizes over the same total prediction count so the rows
    are comparable; BENCH_serve.json is the committed record of the
-   batched kernel's speedup over the scalar reference. *)
+   batched kernel's speedup over the scalar reference, plus two extra
+   sections: the live-daemon load test and the batched-memo fix. *)
+
+(* The per-lookup memo path measured at the PR-7 commit (batch 256,
+   same fixture and machine class): the committed baseline the batched
+   probe/commit rework is judged against. *)
+let memo_before_batch256 = (294.47, 132.16)
+
+(* Drive a live daemon (own domain, temp Unix socket) with [stream]
+   and return the client's load record and the daemon's exit stats. *)
+let daemon_load ~tweak ~pipeline stream =
+  let module Daemon = Archpred_serve_net.Daemon in
+  let module Client = Archpred_serve_net.Client in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archpred_bench_%d.sock" (Unix.getpid ()))
+  in
+  let predictor = Lazy.force fixture_predictor in
+  let control = Daemon.control () in
+  let cfg =
+    tweak
+      {
+        Daemon.default with
+        Daemon.listener = Daemon.Unix_socket sock;
+        tick_s = 0.002;
+      }
+  in
+  let dom = Domain.spawn (fun () -> Daemon.run ~control ~predictor cfg) in
+  let c = Client.connect (Daemon.Unix_socket sock) in
+  let load =
+    Client.drive c Archpred_serve_net.Frame.Binary_wire ~pipeline stream
+  in
+  Client.close c;
+  Daemon.request_drain control;
+  let stats = Domain.join dom in
+  (load, stats)
+
 let run_serve () =
+  let module Json = Archpred_obs.Json in
+  let module Client = Archpred_serve_net.Client in
+  let module Daemon = Archpred_serve_net.Daemon in
   let predictor = Lazy.force fixture_predictor in
   let total = 65_536 in
   let results =
@@ -318,8 +358,93 @@ let run_serve () =
         r)
       [ 1; 16; 64; 256 ]
   in
+  (* the memo-fix record: committed per-lookup baseline vs this run *)
+  let memo_fix =
+    let r256 = List.nth results 3 in
+    let before_cached, before_kernel = memo_before_batch256 in
+    Printf.printf
+      "memo fix @256: cached %.1f -> %.1f ns/pt (kernel %.1f -> %.1f)\n%!"
+      before_cached r256.Core.Serve.cached_ns_per_point before_kernel
+      r256.Core.Serve.kernel_ns_per_point;
+    Json.Obj
+      [
+        ("batch_size", Json.Int 256);
+        ("before_cached_ns_per_point", Json.Float before_cached);
+        ("before_kernel_ns_per_point", Json.Float before_kernel);
+        ("after_cached_ns_per_point",
+         Json.Float r256.Core.Serve.cached_ns_per_point);
+        ("after_kernel_ns_per_point",
+         Json.Float r256.Core.Serve.kernel_ns_per_point);
+        ("cached_le_kernel",
+         Json.Bool
+           (r256.Core.Serve.cached_ns_per_point
+          <= r256.Core.Serve.kernel_ns_per_point));
+      ]
+  in
+  (* the daemon load test: a steady stream over a reused point pool,
+     then the same stream against a tiny ingress bound at double the
+     pipelining — the overload record *)
+  let space = Core.Paper_space.space in
+  let dim = Design.Space.dimension space in
+  let rng = fixture_rng () in
+  let pool =
+    Array.init 512 (fun _ ->
+        Design.Space.snap space ~sample_size:90
+          (Array.init dim (fun _ -> Stats.Rng.unit_float rng)))
+  in
+  let stream = Array.init 16_384 (fun i -> pool.(i mod Array.length pool)) in
+  let load, stats = daemon_load ~tweak:Fun.id ~pipeline:256 stream in
+  Printf.printf
+    "daemon: %8.0f predictions/s  p50 %6.1f us  p99 %6.1f us  p999 %6.1f us \
+     (%d ok / %d sent)\n%!"
+    load.Client.throughput (load.Client.p50_ns /. 1e3)
+    (load.Client.p99_ns /. 1e3)
+    (load.Client.p999_ns /. 1e3)
+    load.Client.ok load.Client.sent;
+  let over_load, over_stats =
+    daemon_load
+      ~tweak:(fun c -> { c with Daemon.max_pending = 64; max_batch = 64 })
+      ~pipeline:512 stream
+  in
+  Printf.printf
+    "daemon 2x overload: %d shed, %d timeouts of %d sent (%d served, 0 \
+     lost: %b)\n%!"
+    over_load.Client.shed over_load.Client.timeouts over_load.Client.sent
+    over_load.Client.ok
+    (over_stats.Daemon.lost = 0);
+  let daemon =
+    Json.Obj
+      [
+        ("listener", Json.String "unix");
+        ("pipeline", Json.Int 256);
+        ("requests", Json.Int load.Client.sent);
+        ("predictions_per_sec", Json.Float load.Client.throughput);
+        ("p50_ns", Json.Float load.Client.p50_ns);
+        ("p99_ns", Json.Float load.Client.p99_ns);
+        ("p999_ns", Json.Float load.Client.p999_ns);
+        ("ok", Json.Int load.Client.ok);
+        ("shed", Json.Int load.Client.shed);
+        ("timeouts", Json.Int load.Client.timeouts);
+        ("lost", Json.Int stats.Daemon.lost);
+        ("cache_hits", Json.Int stats.Daemon.cache.Core.Memo.hits);
+        ("checksum", Json.Float load.Client.checksum);
+        ( "overload",
+          Json.Obj
+            [
+              ("max_pending", Json.Int 64);
+              ("pipeline", Json.Int 512);
+              ("requests", Json.Int over_load.Client.sent);
+              ("ok", Json.Int over_load.Client.ok);
+              ("shed", Json.Int over_load.Client.shed);
+              ("timeouts", Json.Int over_load.Client.timeouts);
+              ("lost", Json.Int over_stats.Daemon.lost);
+            ] );
+      ]
+  in
   let path = "BENCH_serve.json" in
-  Core.Serve.write_json ~path results;
+  Core.Serve.write_json ~path
+    ~extra:[ ("daemon", daemon); ("memo_fix", memo_fix) ]
+    results;
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)

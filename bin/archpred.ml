@@ -6,6 +6,7 @@
      sample       draw a discrepancy-optimised latin hypercube sample
      train        build an RBF CPI model for a benchmark and report accuracy
      serve        batched-prediction load test against a saved model
+     served       long-running prediction daemon on a Unix/TCP socket
      search       model-driven search for the best design point
      reproduce    regenerate the paper's tables and figures
 
@@ -22,6 +23,7 @@ module Workloads = Archpred_workloads
 module Core = Archpred_core
 module Experiments = Archpred_experiments
 module Obs = Archpred_obs
+module Serve_net = Archpred_serve_net
 
 (* ---------- observability & error plumbing ---------- *)
 
@@ -508,6 +510,168 @@ let serve_cmd =
       const run $ model_t $ batch_size_t $ batches_t $ distinct_t $ grid_t
       $ capacity_t $ seed_t $ out_t $ trace_t $ metrics_t)
 
+(* ---------- served ---------- *)
+
+let served_cmd =
+  let model_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file from `train --save'.")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt string "archpred.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on (default).")
+  in
+  let tcp_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on a TCP socket instead of the Unix socket.")
+  in
+  let max_pending_t =
+    Arg.(
+      value
+      & opt int Serve_net.Daemon.default.Serve_net.Daemon.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Ingress queue bound; requests beyond it are shed with an \
+             `overloaded' reply.")
+  in
+  let deadline_ms_t =
+    Arg.(
+      value
+      & opt float 200.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request queueing deadline; requests older than this \
+             answer `timeout'.")
+  in
+  let batch_t =
+    Arg.(
+      value
+      & opt int Serve_net.Daemon.default.Serve_net.Daemon.max_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Largest cross-connection batch handed to the kernel.")
+  in
+  let capacity_t =
+    Arg.(
+      value
+      & opt int Serve_net.Daemon.default.Serve_net.Daemon.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"LRU memo capacity.")
+  in
+  let grid_t =
+    Arg.(
+      value
+      & opt int Serve_net.Daemon.default.Serve_net.Daemon.grid_sample_size
+      & info [ "grid" ] ~docv:"N"
+          ~doc:"Levels per per-sample axis of the memo's key grid.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for kernel evaluation of large miss sets.")
+  in
+  let max_connections_t =
+    Arg.(
+      value
+      & opt int Serve_net.Daemon.default.Serve_net.Daemon.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent connection bound; excess connects are refused.")
+  in
+  let run model socket tcp max_pending deadline_ms batch capacity grid domains
+      max_connections trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    let predictor =
+      Obs.with_span obs "served.load" @@ fun () -> Core.Persist.load model
+    in
+    let listener =
+      match tcp with
+      | None -> Serve_net.Daemon.Unix_socket socket
+      | Some spec -> (
+          match String.rindex_opt spec ':' with
+          | None ->
+              Obs.Error.invalid_input ~where:"served"
+                "--tcp expects HOST:PORT"
+          | Some i -> (
+              let host = String.sub spec 0 i in
+              match
+                int_of_string_opt
+                  (String.sub spec (i + 1) (String.length spec - i - 1))
+              with
+              | Some port -> Serve_net.Daemon.Tcp { host; port }
+              | None ->
+                  Obs.Error.invalid_input ~where:"served"
+                    "--tcp expects a numeric port"))
+    in
+    if deadline_ms <= 0. then
+      Obs.Error.invalid_input ~where:"served" "--deadline-ms must be positive";
+    let config =
+      {
+        Serve_net.Daemon.default with
+        Serve_net.Daemon.listener;
+        max_pending;
+        max_batch = batch;
+        deadline_ns = Int64.of_float (deadline_ms *. 1e6);
+        cache_capacity = capacity;
+        grid_sample_size = grid;
+        domains;
+        max_connections;
+        model_path = Some model;
+      }
+    in
+    let control = Serve_net.Daemon.control () in
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Serve_net.Daemon.request_drain control));
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Serve_net.Daemon.request_drain control));
+    Sys.set_signal Sys.sighup
+      (Sys.Signal_handle (fun _ -> Serve_net.Daemon.request_reload control));
+    (match listener with
+    | Serve_net.Daemon.Unix_socket path ->
+        Format.printf
+          "archpred served: listening on %s (SIGTERM drains, SIGHUP \
+           reloads)@."
+          path
+    | Serve_net.Daemon.Tcp { host; port } ->
+        Format.printf
+          "archpred served: listening on %s:%d (SIGTERM drains, SIGHUP \
+           reloads)@."
+          host port);
+    let s = Serve_net.Daemon.run ~obs ~control ~predictor config in
+    Format.printf
+      "drained: %d connections, %d requests, %d answered@.\
+      \  shed %d, timeouts %d, bad requests %d, protocol errors %d@.\
+      \  reloads %d ok / %d failed@.\
+      \  cache: %d hits, %d misses, %d bypasses@.\
+      \  lost %d@."
+      s.Serve_net.Daemon.connections s.Serve_net.Daemon.requests
+      s.Serve_net.Daemon.answered s.Serve_net.Daemon.shed
+      s.Serve_net.Daemon.timeouts s.Serve_net.Daemon.bad_requests
+      s.Serve_net.Daemon.protocol_errors s.Serve_net.Daemon.reloads_ok
+      s.Serve_net.Daemon.reloads_failed s.Serve_net.Daemon.cache.Core.Memo.hits
+      s.Serve_net.Daemon.cache.Core.Memo.misses
+      s.Serve_net.Daemon.cache.Core.Memo.bypasses s.Serve_net.Daemon.lost;
+    if s.Serve_net.Daemon.lost > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "served"
+       ~doc:
+         "Run the fault-tolerant prediction daemon: JSON-lines and binary \
+          framing on one socket, cross-connection batching, bounded queues \
+          with load shedding, graceful drain on SIGTERM and hot model \
+          reload on SIGHUP")
+    Term.(
+      const run $ model_t $ socket_t $ tcp_t $ max_pending_t $ deadline_ms_t
+      $ batch_t $ capacity_t $ grid_t $ domains_t $ max_connections_t
+      $ trace_t $ metrics_t)
+
 (* ---------- search ---------- *)
 
 let search_cmd =
@@ -651,6 +815,7 @@ let () =
             train_cmd;
             predict_cmd;
             serve_cmd;
+            served_cmd;
             search_cmd;
             sensitivity_cmd;
             reproduce_cmd;

@@ -48,6 +48,32 @@ val insert : t -> key -> float -> unit
     used entry when the cache is full.  Inserting an existing key
     refreshes it. *)
 
+val probe_batch :
+  t ->
+  Archpred_design.Space.point array ->
+  out:float array ->
+  miss:int array ->
+  int
+(** [probe_batch t points ~out ~miss] classifies a whole batch in one
+    pass: hits write their cached value into [out] at the point's index
+    (refreshing recency in stream order), and every non-hit (miss or
+    bypass) records its index into [miss].  Returns the number of
+    recorded indices.  Cacheable missed keys are retained internally for
+    the next {!commit}; a subsequent [probe_batch] discards them.
+
+    Unlike per-point {!lookup}, the probe allocates nothing on the hit
+    path (one shared key scratch, batched counter updates) — this is
+    what makes the cached serving path cheaper than re-running the
+    kernel.  Classification and the resulting values are identical to
+    the scalar sequence.  Raises [Invalid_argument] if [out] or [miss]
+    is shorter than [points]. *)
+
+val commit : t -> float array -> unit
+(** [commit t values] inserts every cacheable miss recorded by the last
+    {!probe_batch}, reading each value from [values] at the miss's
+    original index, in stream order (so eviction order matches the
+    scalar insert sequence).  Clears the pending set. *)
+
 type stats = {
   hits : int;
   misses : int;

@@ -29,32 +29,22 @@ let predict_batch ?(obs = Archpred_obs.null) ?cache t points =
   match cache with
   | None -> Network.eval_batch t.packed points
   | Some c ->
+      (* probe the whole batch first, kernel-evaluate only the misses,
+         then commit the missed keys in one pass — the memo never costs
+         per-point bookkeeping on the hit path *)
       let out = Array.make n 0. in
-      let keys = Array.make n None in
-      let miss_rev = ref [] in
-      Array.iteri
-        (fun i p ->
-          match Memo.lookup c p with
-          | Memo.Hit v -> out.(i) <- v
-          | Memo.Miss k ->
-              keys.(i) <- Some k;
-              miss_rev := i :: !miss_rev
-          | Memo.Bypass -> miss_rev := i :: !miss_rev)
-        points;
-      (match !miss_rev with
-      | [] -> ()
-      | miss ->
-          let idx = Array.of_list (List.rev miss) in
-          let vals =
-            Network.eval_batch t.packed (Array.map (fun i -> points.(i)) idx)
-          in
-          Array.iteri
-            (fun pos i ->
-              out.(i) <- vals.(pos);
-              match keys.(i) with
-              | Some k -> Memo.insert c k vals.(pos)
-              | None -> ())
-            idx);
+      let miss = Array.make n 0 in
+      let k = Memo.probe_batch c points ~out ~miss in
+      if k > 0 then begin
+        let vals =
+          Network.eval_batch t.packed
+            (Array.init k (fun j -> points.(miss.(j))))
+        in
+        for j = 0 to k - 1 do
+          out.(miss.(j)) <- vals.(j)
+        done;
+        Memo.commit c out
+      end;
       out
 
 let predict_natural_batch ?obs ?cache t values =

@@ -198,10 +198,10 @@ let json_of_result r =
 
 let schema = "archpred-serve-v1"
 
-let json results =
+let json ?(extra = []) results =
   Bench_report.obj ~schema
-    [ ("runs", Json.List (List.map json_of_result results)) ]
+    (("runs", Json.List (List.map json_of_result results)) :: extra)
 
-let write_json ~path results =
+let write_json ?(extra = []) ~path results =
   Bench_report.write ~path ~schema
-    [ ("runs", Json.List (List.map json_of_result results)) ]
+    (("runs", Json.List (List.map json_of_result results)) :: extra)

@@ -44,9 +44,17 @@ val run : ?obs:Archpred_obs.t -> predictor:Predictor.t -> config -> result
 
 val json_of_result : result -> Archpred_obs.Json.t
 
-val json : result list -> Archpred_obs.Json.t
+val json :
+  ?extra:(string * Archpred_obs.Json.t) list ->
+  result list ->
+  Archpred_obs.Json.t
 (** Whole-report object: the {!Bench_report} envelope with
     [schema = "archpred-serve-v1"], then a [runs] list of
-    {!json_of_result} objects. *)
+    {!json_of_result} objects, then any [extra] sections (the bench
+    harness appends the daemon load-test and memo-fix records). *)
 
-val write_json : path:string -> result list -> unit
+val write_json :
+  ?extra:(string * Archpred_obs.Json.t) list ->
+  path:string ->
+  result list ->
+  unit

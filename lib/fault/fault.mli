@@ -20,6 +20,12 @@
       rename commits it
     - ["checkpoint.append"] — before a journal record is written
     - ["checkpoint.sync"] — before a journal batch fsync
+    - ["serve.accept"] — before each accept in the prediction daemon
+      ({!Archpred_serve_net.Daemon})
+    - ["serve.read"] — before each daemon socket read
+    - ["serve.write"] — before each daemon socket write
+    - ["serve.reload"] — at hot-reload entry, before the model file is
+      opened
 
     Counting and arming are guarded by a mutex, so sites may be hit from
     worker domains; hit ordering across domains is scheduler-dependent,

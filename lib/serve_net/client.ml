@@ -1,0 +1,155 @@
+module Design = Archpred_design
+module Stats = Archpred_stats
+module Obs = Archpred_obs
+module Error = Archpred_obs.Error
+
+(* Blocking client for the prediction daemon: the other half of the
+   wire protocol, used by the CLI's `served --probe`, the daemon tests,
+   and the load bench.  One [t] is one connection; requests can be
+   pipelined (the daemon answers in batch order, which preserves
+   per-connection request order). *)
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  buf : Bytes.t;
+  mutable open_ : bool;
+}
+
+let sockaddr_of = function
+  | Daemon.Unix_socket path -> Unix.ADDR_UNIX path
+  | Daemon.Tcp { host; port } ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let domain_of = function
+  | Daemon.Unix_socket _ -> Unix.PF_UNIX
+  | Daemon.Tcp _ -> Unix.PF_INET
+
+let connect ?(retries = 100) ?(retry_delay_s = 0.02) listener =
+  let addr = sockaddr_of listener in
+  let rec go attempt =
+    let fd = Unix.socket ~cloexec:true (domain_of listener) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { fd; dec = Frame.decoder (); buf = Bytes.create 65536; open_ = true }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | EINTR), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        (* the daemon may still be binding its socket; poll briefly *)
+        Unix.sleepf retry_delay_s;
+        go (attempt + 1)
+    | exception (Unix.Unix_error (_, _, _) as e) ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        raise e
+  in
+  go 0
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let send_raw t data =
+  let len = String.length data in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring t.fd data !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let predict t wire ~id ?(natural = false) point =
+  send_raw t (Frame.encode_request wire (Frame.Predict { id; point; natural }))
+
+let reload t ?path () =
+  send_raw t (Frame.encode_request Frame.Json_wire (Frame.Reload path))
+
+let rec recv t =
+  match Frame.next_response t.dec with
+  | `Msg (resp, _) -> resp
+  | `Error msg ->
+      Error.parse_error ~where:"Serve_net.Client.recv" ~line:0 msg
+  | `Need_more -> (
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 ->
+          Error.io_error ~path:"<daemon socket>"
+            "connection closed by the daemon"
+      | n ->
+          Frame.feed t.dec t.buf 0 n;
+          recv t
+      | exception Unix.Unix_error (EINTR, _, _) -> recv t)
+
+(* -------------------------------------------------------------- *)
+(* Pipelined load driver                                          *)
+(* -------------------------------------------------------------- *)
+
+type load = {
+  sent : int;
+  ok : int;
+  shed : int;
+  timeouts : int;
+  other : int;  (** bad_request / shutting_down replies *)
+  elapsed_ns : int64;
+  throughput : float;  (** answered replies per second *)
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  checksum : float;  (** sum of [ok] values — determinism anchor *)
+}
+
+let drive t wire ?(pipeline = 64) points =
+  let n = Array.length points in
+  if n = 0 then Error.invalid_input ~where:"Client.drive" "no points";
+  if pipeline < 1 then Error.invalid_input ~where:"Client.drive" "pipeline < 1";
+  let sent_ns = Array.make n 0L in
+  let lat = Array.make n 0. in
+  let ok = ref 0 and shed = ref 0 and timeouts = ref 0 and other = ref 0 in
+  let checksum = ref 0. in
+  let next = ref 0 in
+  let received = ref 0 in
+  let t0 = Obs.now_ns () in
+  while !received < n do
+    if !next < n && !next - !received < pipeline then begin
+      sent_ns.(!next) <- Obs.now_ns ();
+      predict t wire ~id:!next points.(!next);
+      incr next
+    end
+    else begin
+      (match recv t with
+      | Frame.Reply { id; status; value } ->
+          if id >= 0 && id < n then
+            lat.(!received) <-
+              Int64.to_float (Int64.sub (Obs.now_ns ()) sent_ns.(id));
+          (match status with
+          | Frame.Ok ->
+              incr ok;
+              checksum := !checksum +. value
+          | Frame.Overloaded -> incr shed
+          | Frame.Timeout -> incr timeouts
+          | Frame.Bad_request | Frame.Shutting_down -> incr other)
+      | Frame.Reload_reply _ -> ());
+      incr received
+    end
+  done;
+  let elapsed = Int64.sub (Obs.now_ns ()) t0 in
+  let qs =
+    match Stats.Quantile.quantiles lat [ 0.5; 0.99; 0.999 ] with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> (0., 0., 0.)
+  in
+  let p50_ns, p99_ns, p999_ns = qs in
+  {
+    sent = !next;
+    ok = !ok;
+    shed = !shed;
+    timeouts = !timeouts;
+    other = !other;
+    elapsed_ns = elapsed;
+    throughput =
+      (let s = Int64.to_float elapsed /. 1e9 in
+       if s > 0. then float_of_int n /. s else 0.);
+    p50_ns;
+    p99_ns;
+    p999_ns;
+    checksum = !checksum;
+  }

@@ -32,6 +32,7 @@ let fixtures =
     ("catchall-exn", "let f g = try g () with _ -> 0\n");
     ("missing-mli", "let x = 1\n");
     ("unsafe-index", "let f a = Float.Array.unsafe_get a 0\n");
+    ("unix-net", "let f () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n");
   ]
 
 let mli_exists_for rule = if rule = "missing-mli" then Some false else None
@@ -57,7 +58,7 @@ let test_clean_file () =
   Alcotest.check srules "clean file passes" [] (rules_of (scan src))
 
 let test_rule_table () =
-  Alcotest.(check int) "eleven rules" 11 (List.length Lint.rules);
+  Alcotest.(check int) "twelve rules" 12 (List.length Lint.rules);
   List.iter
     (fun (rule, _) ->
       Alcotest.(check bool)
@@ -79,7 +80,11 @@ let test_scopes () =
   check ~scope:Lint.Test ~expect:[] "poly-compare tolerated in test/"
     "let f xs = List.sort compare xs\n";
   check ~scope:Lint.Test ~expect:[ "random-global" ]
-    "Random still illegal in test/" "let _x = Random.int 5\n"
+    "Random still illegal in test/" "let _x = Random.int 5\n";
+  check ~scope:Lint.Test ~expect:[] "sockets legal in test/"
+    "let f fd = Unix.listen fd 8\n";
+  check ~scope:Lint.Bin ~expect:[] "sockets legal in bin/"
+    "let f fd = Unix.accept fd\n"
 
 let test_sanctioned_module () =
   let findings =
@@ -117,6 +122,33 @@ let test_unsafe_index () =
   in
   Alcotest.check srules "sim batch engine may skip bounds checks" []
     (rules_of findings)
+
+let test_unix_net () =
+  (* networking and raw-fd I/O are flagged in ordinary library code ... *)
+  Alcotest.check srules "Unix.select detected" [ "unix-net" ]
+    (rules_of (scan "let f fds = Unix.select fds [] [] 0.1\n"));
+  Alcotest.check srules "Unix.read detected" [ "unix-net" ]
+    (rules_of (scan "let f fd b = Unix.read fd b 0 1\n"));
+  (* ... but the file-durability calls Persist/Checkpoint rely on stay
+     legal everywhere *)
+  Alcotest.check srules "Unix.fsync is not networking" []
+    (rules_of (scan "let f fd = Unix.fsync fd\n"));
+  (* lib/serve_net owns the socket edge, and may also read the clock *)
+  let served src =
+    Lint.scan_string ~scope:Lint.Lib ~rel:"lib/serve_net/daemon.ml"
+      ~mli_exists:true ~filename:"daemon.ml" src
+  in
+  Alcotest.check srules "serve_net may use sockets" []
+    (rules_of (served "let f fd = Unix.accept fd\n"));
+  Alcotest.check srules "serve_net may read the wall clock" []
+    (rules_of (served "let t () = Unix.gettimeofday ()\n"));
+  (* the sanction is for serve_net only: other lib dirs still trip both *)
+  let elsewhere =
+    Lint.scan_string ~scope:Lint.Lib ~rel:"lib/core/serve.ml" ~mli_exists:true
+      ~filename:"serve.ml" "let f fd = Unix.connect fd (Unix.ADDR_UNIX \"s\")\n"
+  in
+  Alcotest.check srules "lib/core may not open sockets" [ "unix-net" ]
+    (rules_of elsewhere)
 
 (* --- pragma meta-rules --- *)
 
@@ -219,6 +251,7 @@ let () =
           Alcotest.test_case "rule table" `Quick test_rule_table;
           Alcotest.test_case "scope gating" `Quick test_scopes;
           Alcotest.test_case "sanctioned module" `Quick test_sanctioned_module;
+          Alcotest.test_case "unix-net scope" `Quick test_unix_net;
           Alcotest.test_case "unsafe index" `Quick test_unsafe_index;
           Alcotest.test_case "unused pragma" `Quick test_unused_pragma;
           Alcotest.test_case "bad pragma" `Quick test_bad_pragma;

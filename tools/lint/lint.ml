@@ -57,6 +57,10 @@ let rules =
       "bounds-unchecked Bigarray / Float.Array accessors (unsafe_get, \
        unsafe_set) outside the batch kernel; only lib/rbf/batch_kernel.ml \
        may skip bounds checks, behind its own validation" );
+    ( "unix-net",
+      "Unix sockets and raw fd I/O (socket, bind, listen, accept, select, \
+       read, write, ...) outside lib/serve_net/; the service layer owns \
+       every nondeterministic network edge so result paths stay pure" );
   ]
 
 let rule_known r = List.mem_assoc r rules
@@ -102,6 +106,20 @@ let ident_rule ~scope parts =
           "`" ^ String.concat "." parts
           ^ "` iterates in unspecified order; use Stats.Tbl.sorted_bindings \
              / iter_sorted / fold_sorted" )
+  | [ "Unix"
+    ; ( "socket" | "socketpair" | "bind" | "listen" | "accept" | "connect"
+      | "select" | "recv" | "recvfrom" | "send" | "sendto" | "send_substring"
+      | "shutdown" | "setsockopt" | "getsockopt" | "getsockname"
+      | "getpeername" | "getaddrinfo" | "gethostbyname" | "inet_addr_of_string"
+      | "open_connection" | "establish_server" | "set_nonblock"
+      | "clear_nonblock" | "read" | "write" | "single_write"
+      | "write_substring" ) ]
+    when in_scope [ Lib ] ->
+      Some
+        ( "unix-net",
+          "`" ^ String.concat "." parts
+          ^ "` does network / raw-fd I/O from library code; only \
+             lib/serve_net/ owns that edge" )
   | [ "Unix"; ("gettimeofday" | "time" | "times") ] | [ "Sys"; "time" ]
     when in_scope [ Lib; Bin; Test ] ->
       Some
@@ -408,7 +426,12 @@ let sanctioned rule rel =
   match rule with
   | "random-global" ->
       path_has_suffix rel "stats/rng.ml" || path_has_suffix rel "stats/rng.mli"
-  | "wall-clock" -> path_has_prefix rel "lib/obs/"
+  (* The serve_net daemon legitimately reads the clock (deadlines, select
+     timeouts) and owns the socket layer; nothing it returns feeds a
+     result path, which archpred-lint keeps true everywhere else. *)
+  | "wall-clock" ->
+      path_has_prefix rel "lib/obs/" || path_has_prefix rel "lib/serve_net/"
+  | "unix-net" -> path_has_prefix rel "lib/serve_net/"
   | "unsafe-index" ->
       path_has_suffix rel "rbf/batch_kernel.ml"
       || path_has_suffix rel "sim/batch.ml"

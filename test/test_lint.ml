@@ -84,7 +84,22 @@ let test_scopes () =
   check ~scope:Lint.Test ~expect:[] "sockets legal in test/"
     "let f fd = Unix.listen fd 8\n";
   check ~scope:Lint.Bin ~expect:[] "sockets legal in bin/"
-    "let f fd = Unix.accept fd\n"
+    "let f fd = Unix.accept fd\n";
+  (* tools/ is a hybrid scope: determinism rules bite like lib/, CLI
+     conveniences stay legal like bin/. *)
+  check ~scope:Lint.Tools ~expect:[ "poly-compare" ]
+    "poly-compare illegal in tools/" "let f xs = List.sort compare xs\n";
+  check ~scope:Lint.Tools ~expect:[ "hashtbl-order" ]
+    "Hashtbl.iter illegal in tools/" "let f h = Hashtbl.iter ignore h\n";
+  check ~scope:Lint.Tools ~expect:[ "wall-clock" ]
+    "wall-clock illegal in tools/" "let t () = Unix.gettimeofday ()\n";
+  check ~scope:Lint.Tools ~expect:[] "stdout legal in tools/"
+    "let () = Printf.printf \"hi\"\n";
+  check ~scope:Lint.Tools ~expect:[] "exit legal in tools/"
+    "let f () = exit 1\n";
+  Alcotest.(check (option pass))
+    "tools/ paths classify" (Some Lint.Tools)
+    (Lint.scope_of_rel "tools/analyze/analyze.ml")
 
 let test_sanctioned_module () =
   let findings =

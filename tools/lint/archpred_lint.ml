@@ -18,7 +18,7 @@ module Lint = Lint_engine.Lint
 
 let usage =
   "usage: archpred_lint [--root DIR] [--json] [--warn RULE] [--rules] [FILE...]\n\
-   Scans lib/ bin/ bench/ test/ under --root (default .), or just the\n\
+   Scans lib/ bin/ bench/ test/ tools/ under --root (default .), or just the\n\
    given FILEs (scoped by their path prefix). --warn downgrades a rule\n\
    to a non-fatal warning; --rules prints the rule table and exits."
 
@@ -107,7 +107,7 @@ let () =
                     Error.invalid_input ~where:"archpred_lint"
                       (rel
                      ^ ": cannot infer scope (path must start with \
-                        lib/, bin/, bench/ or test/)")
+                        lib/, bin/, bench/, test/ or tools/)")
               in
               Lint.scan_file ~scope ~warn ~root rel)
             files)

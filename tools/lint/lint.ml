@@ -12,7 +12,7 @@ type finding = {
   message : string;
 }
 
-type scope = Lib | Bin | Bench | Test
+type scope = Lib | Bin | Bench | Test | Tools
 
 let scope_of_rel rel =
   match String.split_on_char '/' rel with
@@ -20,6 +20,7 @@ let scope_of_rel rel =
   | "bin" :: _ -> Some Bin
   | "bench" :: _ -> Some Bench
   | "test" :: _ -> Some Test
+  | "tools" :: _ -> Some Tools
   | _ -> None
 
 let rules =
@@ -93,14 +94,14 @@ let ident_rule ~scope parts =
           "use of the global Random generator (`"
           ^ String.concat "." parts
           ^ "`); draw from Stats.Rng with an explicit seed" )
-  | [ "compare" ] when in_scope [ Lib; Bench ] ->
+  | [ "compare" ] when in_scope [ Lib; Bench; Tools ] ->
       Some
         ( "poly-compare",
           "polymorphic `compare`; floats compare bitwise-unordered under it \
            -- use Float.compare / Int.compare / String.compare" )
-  | [ "Pervasives"; "compare" ] when in_scope [ Lib; Bench ] ->
+  | [ "Pervasives"; "compare" ] when in_scope [ Lib; Bench; Tools ] ->
       Some ("poly-compare", "polymorphic `Pervasives.compare`")
-  | [ "Hashtbl"; ("iter" | "fold") ] when in_scope [ Lib; Bench ] ->
+  | [ "Hashtbl"; ("iter" | "fold") ] when in_scope [ Lib; Bench; Tools ] ->
       Some
         ( "hashtbl-order",
           "`" ^ String.concat "." parts
@@ -121,7 +122,7 @@ let ident_rule ~scope parts =
           ^ "` does network / raw-fd I/O from library code; only \
              lib/serve_net/ owns that edge" )
   | [ "Unix"; ("gettimeofday" | "time" | "times") ] | [ "Sys"; "time" ]
-    when in_scope [ Lib; Bin; Test ] ->
+    when in_scope [ Lib; Bin; Test; Tools ] ->
       Some
         ( "wall-clock",
           "wall-clock read `" ^ String.concat "." parts
@@ -332,19 +333,18 @@ let scan_pragmas comments =
       let lineno = loc.loc_start.pos_lnum in
       let key = "archpred-lint:" in
       let klen = String.length key in
+      (* A pragma is a comment *starting* with the key (modulo leading
+         whitespace); comments that merely mention the grammar mid-text
+         (docs quoting `(* archpred-lint: ... *)`) are inert. *)
       match
-        let rec find i =
-          if i + klen > String.length text then None
-          else if String.equal (String.sub text i klen) key then Some i
-          else find (i + 1)
-        in
-        find 0
+        let t = strip text in
+        if String.length t >= klen && String.equal (String.sub t 0 klen) key
+        then Some t
+        else None
       with
       | None -> ()
-      | Some i ->
-          let rest =
-            strip (String.sub text (i + klen) (String.length text - i - klen))
-          in
+      | Some t ->
+          let rest = strip (String.sub t klen (String.length t - klen)) in
           if not (starts_with ~prefix:"allow" rest) then
             bad := (lineno, "pragma must be `allow <rule> -- reason`") :: !bad
           else
@@ -552,6 +552,7 @@ let scan_tree ?warn ~root () =
             && name.[0] <> '.'
             && name.[0] <> '_'
             && not (String.equal name "lint_fixtures")
+            && not (String.equal name "analyze_fixtures")
           then walk_dir scope rel'
         end
         else if
@@ -562,7 +563,13 @@ let scan_tree ?warn ~root () =
   List.iter
     (fun (dir, scope) ->
       if Sys.file_exists (Filename.concat root dir) then walk_dir scope dir)
-    [ ("lib", Lib); ("bin", Bin); ("bench", Bench); ("test", Test) ];
+    [
+      ("lib", Lib);
+      ("bin", Bin);
+      ("bench", Bench);
+      ("test", Test);
+      ("tools", Tools);
+    ];
   List.sort compare_finding (List.concat !out)
 
 let errors fs = List.length (List.filter (fun f -> f.severity = Error) fs)

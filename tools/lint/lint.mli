@@ -31,12 +31,16 @@ type finding = {
 
 (** Which top-level directory a file belongs to; decides which rules
     apply (e.g. wall-clock reads are legal in [bench/], [exit] is legal
-    in [bin/]). *)
-type scope = Lib | Bin | Bench | Test
+    in [bin/]).  [Tools] covers the static-analysis tooling itself
+    (tools/lint, tools/analyze): determinism rules (random-global,
+    poly-compare, hashtbl-order, wall-clock) apply as in [Lib], while
+    CLI conveniences (stdout printing, [exit]) stay legal as in
+    [Bin]. *)
+type scope = Lib | Bin | Bench | Test | Tools
 
 val scope_of_rel : string -> scope option
 (** Classify a repo-relative path ["lib/…"], ["bin/…"], ["bench/…"],
-    ["test/…"]; [None] for anything else. *)
+    ["test/…"], ["tools/…"]; [None] for anything else. *)
 
 val rules : (string * string) list
 (** [(id, one-line description)] for every enforced rule, in a stable
@@ -69,9 +73,10 @@ val scan_file :
     @raise Archpred_obs.Error.Archpred [Io_error] if unreadable. *)
 
 val scan_tree : ?warn:string list -> root:string -> unit -> finding list
-(** Walk [lib/], [bin/], [bench/], [test/] under [root] (deterministic
-    order; skipping [_*], dot-dirs and [lint_fixtures/]) and lint every
-    [.ml]/[.mli].  Findings are sorted by (file, line, col, rule). *)
+(** Walk [lib/], [bin/], [bench/], [test/], [tools/] under [root]
+    (deterministic order; skipping [_*], dot-dirs, [lint_fixtures/] and
+    [analyze_fixtures/]) and lint every [.ml]/[.mli].  Findings are
+    sorted by (file, line, col, rule). *)
 
 val errors : finding list -> int
 val warnings : finding list -> int

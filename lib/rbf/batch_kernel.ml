@@ -24,11 +24,16 @@ type t = {
   mutable scratch_out : buffer;
 }
 
+(* The dimensions pass as three separate immediates: a [(m, dim, n)]
+   tuple would be boxed on every call, the one allocation left in the
+   [eval_into] hot path. *)
 external eval_stub :
   buffer ->
   buffer ->
   buffer ->
-  int * int * int ->
+  int ->
+  int ->
+  int ->
   buffer ->
   buffer ->
   buffer ->
@@ -135,9 +140,24 @@ let eval_into ?(force_scalar = false) t ~queries ~n ~out =
   if n > Array1.dim out then
     invalid_arg "Batch_kernel.eval_into: output buffer too small";
   if n > 0 then
-    eval_stub t.centers t.inv_radii t.weights (t.m, t.dim, n) queries out
+    eval_stub t.centers t.inv_radii t.weights t.m t.dim n queries out
       Rbf_math.t2j Rbf_math.pow2
       (if force_scalar then 0 else 1)
+
+(* Re-entrant variant: fresh buffers instead of [t]'s scratch, so
+   concurrent domains can evaluate against one packed model.  The extra
+   allocations are the price of that freedom — single-domain callers
+   should stay on [eval_points]. *)
+let eval_points_fresh ?force_scalar t points =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    let queries = create_buffer (n * t.dim) in
+    let out = create_buffer n in
+    load_queries t queries points;
+    eval_into ?force_scalar t ~queries ~n ~out;
+    Array.init n (fun i -> Array1.unsafe_get out i)
+  end
 
 let eval_points ?force_scalar t points =
   let n = Array.length points in

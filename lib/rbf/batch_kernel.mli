@@ -57,6 +57,13 @@ val eval_points : ?force_scalar:bool -> t -> float array array -> float array
     point must not be called concurrently from several domains on the
     same [t]; {!eval_into} with caller-owned buffers is re-entrant. *)
 
+val eval_points_fresh :
+  ?force_scalar:bool -> t -> float array array -> float array
+(** Like {!eval_points} but with freshly allocated buffers instead of
+    [t]'s scratch: safe to call concurrently from several domains on one
+    packed model.  Costs two buffer allocations per call, so
+    single-domain loops should prefer {!eval_points}. *)
+
 val simd_level : unit -> string
 (** Instruction set the kernel dispatches to on this host:
     ["avx512"], ["avx2"] or ["scalar"]. *)

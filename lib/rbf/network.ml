@@ -52,6 +52,9 @@ let pack t =
 let eval_batch ?force_scalar packed points =
   Batch_kernel.eval_points ?force_scalar packed points
 
+let eval_batch_fresh ?force_scalar packed points =
+  Batch_kernel.eval_points_fresh ?force_scalar packed points
+
 let design_matrix centers points =
   Matrix.init (Array.length points) (Array.length centers) (fun i j ->
       basis centers.(j) points.(i))

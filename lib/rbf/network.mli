@@ -43,6 +43,13 @@ val eval_batch : ?force_scalar:bool -> packed -> float array array -> float arra
     any batch size, on every instruction set ([force_scalar] pins the
     portable C path; tests use it to cross-check SIMD dispatch). *)
 
+val eval_batch_fresh :
+  ?force_scalar:bool -> packed -> float array array -> float array
+(** Like {!eval_batch} but evaluating through freshly allocated buffers
+    rather than the packed model's shared scratch, so several domains
+    may evaluate one [packed] concurrently (the model arrays themselves
+    are read-only after {!pack}). *)
+
 val design_matrix : center array -> float array array -> Archpred_linalg.Matrix.t
 (** [design_matrix centers points] is the p-by-m matrix [H] with
     [H(i)(j) = basis centers.(j) points.(i)]. *)

@@ -238,7 +238,8 @@ CAMLprim value archpred_rbf_simd_level(value unit) {
 /* mode 0 forces the portable scalar path (for cross-path identity
  * tests); mode 1 picks the best available instruction set. */
 CAMLprim value archpred_rbf_eval_batch(value vc, value vir, value vw,
-                                       value vdims, value vq, value vout,
+                                       value vm, value vdim, value vn,
+                                       value vq, value vout,
                                        value vt2j, value vp2, value vmode) {
   const double *c = (double *)Caml_ba_data_val(vc);
   const double *ir = (double *)Caml_ba_data_val(vir);
@@ -247,9 +248,9 @@ CAMLprim value archpred_rbf_eval_batch(value vc, value vir, value vw,
   double *out = (double *)Caml_ba_data_val(vout);
   const double *t2j = (double *)Caml_ba_data_val(vt2j);
   const double *p2 = (double *)Caml_ba_data_val(vp2);
-  long m = Long_val(Field(vdims, 0));
-  long dim = Long_val(Field(vdims, 1));
-  long n = Long_val(Field(vdims, 2));
+  long m = Long_val(vm);
+  long dim = Long_val(vdim);
+  long n = Long_val(vn);
 #if defined(__x86_64__)
   if (Long_val(vmode) != 0) {
     int level = simd_level();
@@ -272,5 +273,6 @@ CAMLprim value archpred_rbf_eval_batch(value vc, value vir, value vw,
 CAMLprim value archpred_rbf_eval_batch_bytecode(value *argv, int argn) {
   (void)argn;
   return archpred_rbf_eval_batch(argv[0], argv[1], argv[2], argv[3], argv[4],
-                                 argv[5], argv[6], argv[7], argv[8]);
+                                 argv[5], argv[6], argv[7], argv[8], argv[9],
+                                 argv[10]);
 }

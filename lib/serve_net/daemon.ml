@@ -403,9 +403,12 @@ let handle_accept st lfd =
 (* Batched evaluation                                             *)
 (* -------------------------------------------------------------- *)
 
-let bucket n =
-  let rec up b = if b >= n then b else up (2 * b) in
-  up 1
+(* [bucket_from] is top-level rather than local to [bucket]: a local
+   [let rec] would allocate a closure over [n] on every call, and
+   [bucket] sits on the per-request path (zero-alloc, enforced by
+   tools/analyze/hotpaths.sexp). *)
+let rec bucket_from b n = if b >= n then b else bucket_from (2 * b) n
+let bucket n = bucket_from 1 n
 
 (* Probe the memo for the whole batch, kernel-evaluate only the misses
    (optionally sliced across domains — per-point results are
@@ -429,9 +432,13 @@ let eval_points st points =
           Array.init n_slices (fun c ->
               Array.sub mpts (c * chunk) (min chunk (k - (c * chunk))))
         in
+        (* [eval_batch] would funnel every domain through [packed]'s
+           shared scratch buffers; the _fresh variant gives each slice
+           its own, so the split stays bit-identical AND race-free
+           (caught by archpred-analyze's domain-race pass). *)
         let evaled =
           Stats.Parallel.map ~domains:d
-            (fun s -> Rbf.Network.eval_batch packed s)
+            (fun s -> Rbf.Network.eval_batch_fresh packed s)
             slices
         in
         Array.concat (Array.to_list evaled)

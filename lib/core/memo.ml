@@ -328,6 +328,7 @@ let probe_batch t points ~out ~miss =
       end
       else begin
         incr misses;
+        (* archpred-analyze: allow hot-alloc -- miss path only; the cons+pair is amortized by the kernel evaluation the miss already pays for *)
         t.pending <- (i, t.scratch_packed) :: t.pending;
         Array.unsafe_set miss !m i;
         incr m
@@ -345,6 +346,7 @@ let commit t values =
   (* [pending] is in reverse stream order; insert in stream order so the
      recency list ends up exactly as the scalar lookup/insert sequence
      would leave it *)
+  (* archpred-analyze: allow hot-alloc -- one closure per batch, not per point; rewriting as a loop would need a mutable cursor for no measured gain *)
   List.iter (fun (i, key) -> insert t key values.(i)) (List.rev t.pending);
   t.pending <- []
 

@@ -1,0 +1,18 @@
+(* Zero-alloc fixtures.  [hot_pair] boxes a tuple; [cool_add] uses a
+   ref the compiler unboxes (Simplif.eliminate_ref), which the checker
+   must accept; [hot_allowed] carries a pragma blessing its boxing.
+   The pragma just below is deliberately malformed (no reason) so the
+   bad-pragma meta-rule has a fixture too. *)
+
+(* archpred-analyze: allow hot-alloc *)
+
+let hot_pair x = (x, x + 1)
+
+let cool_add x =
+  let acc = ref x in
+  incr acc;
+  !acc
+
+let hot_allowed x =
+  (* archpred-analyze: allow hot-alloc -- fixture: the boxing is the point *)
+  (x, x)

@@ -1,0 +1,3 @@
+(* Effect seed for the purity fixtures: the one wall-clock read. *)
+
+let now () = Unix.gettimeofday ()

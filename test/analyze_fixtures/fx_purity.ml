@@ -1,0 +1,5 @@
+(* Textually clean — the wall-clock reach is one call away in
+   [Fx_clock], so only transitive effect propagation can flag the
+   crossing here. *)
+
+let stamp x = Fx_clock.now () +. x

@@ -1,0 +1,30 @@
+(* Domain-race fixtures: each [run_*] hands a closure to
+   [Stats.Parallel.map].  [run] mutates a top-level ref directly,
+   [run_recorded] reaches the same state one call away through
+   [Fx_state.record] (the sanctionable shape), and [run_captured]
+   mutates a local captured from the spawning scope. *)
+
+let run xs =
+  Archpred_stats.Parallel.map
+    (fun x ->
+      Fx_state.counter := !Fx_state.counter + x;
+      x)
+    xs
+
+let run_recorded xs =
+  Archpred_stats.Parallel.map
+    (fun x ->
+      Fx_state.record x;
+      x)
+    xs
+
+let run_captured xs =
+  let hits = ref 0 in
+  let out =
+    Archpred_stats.Parallel.map
+      (fun x ->
+        incr hits;
+        x + 1)
+      xs
+  in
+  (!hits, out)

@@ -1,0 +1,11 @@
+(* Top-level mutable state the race fixtures reach for.  [record] is
+   the "audited helper" a sanctions entry can bless: without a
+   race-barrier for it, every closure that calls it trips the
+   domain-race pass through the call graph. *)
+
+let counter = ref 0
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let record x =
+  counter := !counter + x;
+  Hashtbl.replace table x x

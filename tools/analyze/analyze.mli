@@ -1,0 +1,121 @@
+(** [archpred-analyze]: typed interprocedural analysis over [.cmt]
+    artifacts.
+
+    Where [archpred-lint] (tools/lint) checks each source file's
+    {i syntax} in isolation, this engine loads the {b Typedtree} the
+    compiler already produced under [_build], rebuilds a module-aware
+    call graph with resolved paths, and runs three passes that need
+    cross-file knowledge:
+
+    - {b domain-race} — top-level mutable state (refs, [Hashtbl],
+      [Buffer], [Atomic], bigarrays, mutable record fields) that is
+      transitively reachable {i and mutated} from a closure handed to
+      [Stats.Parallel.{map,init,map_reduce,map_fallible}] (the
+      serve_net daemon's sliced dispatch goes through the same entry
+      points).  Per-domain observability counters and other
+      deliberately concurrent state are declared in a sanctions
+      registry ([tools/analyze/sanctions.sexp]) rather than silenced
+      inline.
+    - {b hot-alloc} — functions named in a declarative manifest
+      ([tools/analyze/hotpaths.sexp]) are checked for allocation sites:
+      closure creation, tuple/record/constructor/array literals,
+      partial application, [ref] cells the compiler cannot unbox, and
+      [@@]/[|>] indirection.
+    - {b impure} — syntactic effect facts (RNG, wall clock, stdout,
+      [Unix] networking) are propagated through the call graph, so a
+      result-path function that reaches an effect {i through a helper in
+      another file} is flagged even though its own text is clean.
+
+    Findings can be suppressed per site with the same pragma grammar as
+    the linter, under this tool's own key:
+
+    {v (* archpred-analyze: allow <rule> -- reason *) v}
+
+    placed on the finding's line or the line above.  Unknown rules and
+    missing reasons are reported ([bad-pragma]); a pragma that
+    suppresses nothing is itself a finding ([unused-pragma]). *)
+
+type finding = {
+  rule : string;
+  file : string;  (** repo-relative source path from the .cmt *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+(** Same top-level directory classification as [Lint_engine.Lint]:
+    decides which purity effects are banned where. *)
+type scope = Lib | Bin | Bench | Test | Tools
+
+val scope_of_rel : string -> scope option
+
+val rules : (string * string) list
+(** [(id, one-line description)] for the three passes plus the pragma
+    meta-rules, in stable order. *)
+
+(** {1 Registries} *)
+
+type sanction_kind =
+  | Race_barrier
+      (** A function whose internal shared-state effects are an audited
+          concurrency protocol (mutex-guarded registry, per-domain DLS
+          buffers, atomic counters): the race pass does not look inside
+          it and discards its mutation facts. *)
+  | Race_global
+      (** A named top-level mutable value that is sanctioned for
+          concurrent mutation (e.g. process-wide [Atomic] totals). *)
+  | Purity_barrier
+      (** A function whose transitive effects are contained (timestamps
+          that annotate a metrics stream, a daemon's socket loop): the
+          purity pass stops effect propagation at it. *)
+
+type sanction = { s_kind : sanction_kind; s_name : string; s_reason : string }
+
+val parse_sanctions : path:string -> string -> sanction list
+(** Parse registry source text ([(race-barrier Name "reason")] forms;
+    [;] comments).  @raise Archpred_obs.Error.Archpred [Parse_error] on
+    malformed input — unknown kind, missing name, empty reason. *)
+
+val parse_hotpaths : path:string -> string -> string list
+(** Parse the hot-path manifest ([(hot-path Name)] forms) into
+    fully-qualified canonical function names. *)
+
+val load_sanctions : path:string -> sanction list
+val load_hotpaths : path:string -> string list
+
+(** {1 Running} *)
+
+val discover_cmts : root:string -> string list
+(** All [.cmt] files for [lib/] and [bin/] units, probing both
+    [root/_build/default] and [root] itself (so the tool works from the
+    repo root and from inside the build context).  Deterministic
+    order. *)
+
+val analyze :
+  ?sanctions:sanction list ->
+  ?hotpaths:string list ->
+  ?scope_of:(string -> scope option) ->
+  root:string ->
+  cmt_paths:string list ->
+  unit ->
+  finding list
+(** Load every [.cmt], build the call graph, run the three passes and
+    the pragma filter.  [root] anchors source-file resolution (pragma
+    reading, stale-artifact detection: a cmt whose recorded source no
+    longer exists under [root] is skipped).  [sanctions]/[hotpaths]
+    default to loading the registry files under
+    [root/tools/analyze/]; [scope_of] defaults to {!scope_of_rel}
+    (tests override it to re-scope fixture modules).  Findings are
+    sorted by (file, line, col, rule).
+
+    @raise Archpred_obs.Error.Archpred [Io_error] if a cmt or registry
+    file cannot be read, [Parse_error] if a registry file is
+    malformed. *)
+
+val errors : finding list -> int
+
+val to_json : finding -> Archpred_obs.Json.t
+(** One finding as a JSON object, same shape as the linter's. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Human rendering: [file:line:col: [rule] message]. *)

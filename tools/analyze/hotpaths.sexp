@@ -1,0 +1,13 @@
+; Zero-alloc hot-path manifest for archpred-analyze.  Every function
+; named here is checked for allocation sites (closures, tuples, records,
+; constructor applications, arrays, partial application, escaping refs,
+; @@/|> indirection).  Naming a function that does not exist fails the
+; run loudly, so renames cannot silently drop coverage.
+
+(hot-path Rbf.Batch_kernel.set_query)
+(hot-path Rbf.Batch_kernel.load_queries)
+(hot-path Rbf.Batch_kernel.eval_into)
+(hot-path Core.Memo.probe_batch)
+(hot-path Core.Memo.commit)
+(hot-path Serve_net.Daemon.bucket)
+(hot-path Serve_net.Daemon.bucket_from)

@@ -1,0 +1,34 @@
+; Sanctioned-state registry for archpred-analyze (see tools/analyze/
+; analyze.mli).  Every entry is an audited concurrency or effect
+; protocol: deleting a line makes the next `dune build @analyze` fail
+; wherever the protocol is actually relied on.
+;
+;   (race-barrier  Name "why its internal shared state is safe")
+;   (race-global   Name "why concurrent mutation of this value is safe")
+;   (purity-barrier Name "why its transitive effects are contained")
+
+; Observability counters buffer per domain in Domain.DLS and merge under
+; the registry lock when a span closes; concurrent count/incr/gauge is
+; the design, not an accident.
+(race-barrier Obs.count "per-domain DLS buffers, merged under s.lock at span close")
+(race-barrier Obs.incr "alias of Obs.count; same per-domain DLS protocol")
+(race-barrier Obs.gauge "writes s.gauges under s.lock")
+(race-barrier Obs.with_span "span stack lives in Domain.DLS; merge is lock-guarded")
+
+; Fault-injection sites update their hit counters under the module mutex.
+(race-barrier Fault.Fault.point "site table guarded by the module-level mutex")
+
+; Checkpoint lines are CRC-framed and appended under the channel lock;
+; replay is order-independent, so interleaving across domains is safe.
+(race-barrier Core.Checkpoint.append "channel-locked framed append; replay is order-independent")
+
+; The pool runtime itself: work distribution mutates queues/results by
+; design, guarded by the pool's own synchronisation.
+(race-barrier Stats.Parallel.map "pool runtime; results array is partitioned per domain")
+(race-barrier Stats.Parallel.init "pool runtime; results array is partitioned per domain")
+(race-barrier Stats.Parallel.map_reduce "pool runtime; per-domain accumulators combined after join")
+(race-barrier Stats.Parallel.map_fallible "pool runtime; retry bookkeeping is Atomic")
+
+; Process-wide Atomic totals: racy-by-design monotonic counters.
+(race-global Stats.Parallel.retries_total "Atomic counter; monotonic total, no ordering claim")
+(race-global Stats.Parallel.failed_total "Atomic counter; monotonic total, no ordering claim")

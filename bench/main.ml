@@ -17,6 +17,7 @@
      bench/main.exe --micro         run only the micro-benchmarks
      bench/main.exe --crashsafe     measure checkpoint-journal overhead
      bench/main.exe --sim           batched-simulation throughput record
+     bench/main.exe --shard         sharded-search speedup record
      bench/main.exe --paper         run only the paper's tables and figures
      bench/main.exe --trace         print a span-tree summary after the runs
      bench/main.exe --metrics FILE  stream observability events as JSON lines
@@ -24,6 +25,7 @@
 
 module Experiments = Archpred_experiments
 module Core = Archpred_core
+module Shard = Archpred_shard
 module Design = Archpred_design
 module Stats = Archpred_stats
 module Rbf = Archpred_rbf
@@ -331,6 +333,48 @@ let daemon_load ~tweak ~pipeline stream =
   let stats = Domain.join dom in
   (load, stats)
 
+(* K concurrent connections against one daemon, one client domain each:
+   the aggregate-throughput record a single socket cannot show (the
+   single-connection row is client-bound).  Aggregate throughput is
+   total answered predictions over the whole phase's wall-clock; each
+   client also reports its own p99. *)
+let multi_client_load ~clients ~pipeline streams =
+  let module Daemon = Archpred_serve_net.Daemon in
+  let module Client = Archpred_serve_net.Client in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archpred_bench_mc_%d.sock" (Unix.getpid ()))
+  in
+  let predictor = Lazy.force fixture_predictor in
+  let control = Daemon.control () in
+  let cfg =
+    { Daemon.default with Daemon.listener = Daemon.Unix_socket sock;
+      tick_s = 0.002 }
+  in
+  let dom = Domain.spawn (fun () -> Daemon.run ~control ~predictor cfg) in
+  (* One connection up front so the wall-clock below measures driving,
+     not the daemon binding its socket. *)
+  let probe = Client.connect (Daemon.Unix_socket sock) in
+  Client.close probe;
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.init clients (fun c ->
+        Domain.spawn (fun () ->
+            let conn = Client.connect (Daemon.Unix_socket sock) in
+            let load =
+              Client.drive conn Archpred_serve_net.Frame.Binary_wire ~pipeline
+                streams.(c)
+            in
+            Client.close conn;
+            load))
+  in
+  let loads = Array.map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  Daemon.request_drain control;
+  let stats = Domain.join dom in
+  (loads, wall, stats)
+
 let run_serve () =
   let module Json = Archpred_obs.Json in
   let module Client = Archpred_serve_net.Client in
@@ -412,6 +456,47 @@ let run_serve () =
     over_load.Client.shed over_load.Client.timeouts over_load.Client.sent
     over_load.Client.ok
     (over_stats.Daemon.lost = 0);
+  let clients = 4 in
+  let streams =
+    Array.init clients (fun c ->
+        Array.init 8_192 (fun i ->
+            pool.(((c * 131) + (i * 7)) mod Array.length pool)))
+  in
+  let mc_loads, mc_wall, mc_stats = multi_client_load ~clients ~pipeline:64 streams in
+  let mc_ok = Array.fold_left (fun a l -> a + l.Client.ok) 0 mc_loads in
+  let mc_sent = Array.fold_left (fun a l -> a + l.Client.sent) 0 mc_loads in
+  let mc_throughput = float_of_int mc_ok /. mc_wall in
+  let mc_worst_p99 =
+    Array.fold_left (fun a l -> Float.max a l.Client.p99_ns) 0. mc_loads
+  in
+  Printf.printf
+    "daemon %d clients: %8.0f predictions/s aggregate  per-client p99 %s us \
+     (worst %6.1f us, %d ok / %d sent, %d lost)\n%!"
+    clients mc_throughput
+    (String.concat " "
+       (Array.to_list
+          (Array.map
+             (fun l -> Printf.sprintf "%.1f" (l.Client.p99_ns /. 1e3))
+             mc_loads)))
+    (mc_worst_p99 /. 1e3) mc_ok mc_sent mc_stats.Daemon.lost;
+  let multi_client =
+    Json.Obj
+      [
+        ("clients", Json.Int clients);
+        ("pipeline", Json.Int 64);
+        ("requests", Json.Int mc_sent);
+        ("ok", Json.Int mc_ok);
+        ("wall_s", Json.Float mc_wall);
+        ("aggregate_predictions_per_sec", Json.Float mc_throughput);
+        ( "per_client_p99_ns",
+          Json.List
+            (Array.to_list
+               (Array.map (fun l -> Json.Float l.Client.p99_ns) mc_loads)) );
+        ("worst_p99_ns", Json.Float mc_worst_p99);
+        ("lost", Json.Int mc_stats.Daemon.lost);
+        ("connections", Json.Int mc_stats.Daemon.connections);
+      ]
+  in
   let daemon =
     Json.Obj
       [
@@ -443,7 +528,12 @@ let run_serve () =
   in
   let path = "BENCH_serve.json" in
   Core.Serve.write_json ~path
-    ~extra:[ ("daemon", daemon); ("memo_fix", memo_fix) ]
+    ~extra:
+      [
+        ("daemon", daemon);
+        ("multi_client", multi_client);
+        ("memo_fix", memo_fix);
+      ]
     results;
   Printf.printf "wrote %s\n" path
 
@@ -471,6 +561,168 @@ let run_sim () =
     r.Core.Sim_bench.bit_identical;
   Core.Sim_bench.record r;
   Printf.printf "wrote BENCH_parallel.json (sim section)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sharded search: the BENCH_shard.json record.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements around one accuracy schedule (mcf, sizes 20..90):
+   the paper-default redraw-per-size single-process build, the
+   streaming-refit single-process build (same bits as any sharded run),
+   and the sharded streaming build at 1/2/4 worker processes.  Each
+   sharded row records wall-clock, speedup against both single-process
+   baselines, and whether the merged model is byte-identical to the
+   single-process streaming model.  The streamed run also records the
+   [Refit] counters: rows folded by from-scratch cell builds versus by
+   rank-1 pushes — the measured refit-cost reduction per size step. *)
+
+let shard_sizes = [ 20; 30; 40; 50; 60; 70; 80; 90 ]
+
+let shard_spec ~stream_refit =
+  {
+    Shard.Spec.benchmark = "mcf";
+    metric = Core.Response.Cpi;
+    seed = 11;
+    trace_length = 80_000;
+    sample_size = 90;
+    test_n = 10;
+    lhs_candidates = 40;
+    criterion = Rbf.Criteria.Aicc;
+    p_min_grid = [ 1; 3 ];
+    alpha_grid = [ 7. ];
+    shard_unit = 8;
+    stream_refit;
+    refit_full_every = 4;
+    mode = Shard.Spec.Accuracy { sizes = shard_sizes; target_mean_pct = 0. };
+  }
+
+(* The single-process reference build, exactly as `archpred train` runs
+   it: one root generator, test points drawn first, then the schedule. *)
+let shard_single_run ?(obs = Archpred_obs.null) spec =
+  let rng = Stats.Rng.create spec.Shard.Spec.seed in
+  let response = Shard.Spec.response ~obs spec in
+  let test = Core.Paper_space.test_points rng ~n:spec.Shard.Spec.test_n in
+  let actual = Core.Response.evaluate_many ~domains:1 response test in
+  let config = Shard.Spec.config ~obs spec |> Core.Config.with_rng rng in
+  let sizes, target_mean_pct =
+    match spec.Shard.Spec.mode with
+    | Shard.Spec.Accuracy { sizes; target_mean_pct } -> (sizes, target_mean_pct)
+    | Shard.Spec.Train ->
+        Archpred_obs.Error.invalid_input ~where:"bench"
+          "shard bench runs an accuracy schedule"
+  in
+  let t0 = Unix.gettimeofday () in
+  let history =
+    Core.Build.build_to_accuracy ~config ~space:Core.Paper_space.space
+      ~response ~sizes ~test_points:test ~test_responses:actual
+      ~target_mean_pct ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, history.Core.Build.final.Core.Build.trained)
+
+let shard_sharded_run ~exe ~workers spec =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "archpred_bench_shard_%d_w%d" (Unix.getpid ()) workers)
+  in
+  let argv id = [| exe; "worker"; "--dir"; dir; "--id"; id |] in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Shard.Coordinator.run ~dir ~spec ~workers ~argv () in
+  (Unix.gettimeofday () -. t0, outcome)
+
+let run_shard () =
+  let module Json = Archpred_obs.Json in
+  let exe =
+    let build = Filename.dirname (Filename.dirname Sys.executable_name) in
+    let exe = Filename.concat build (Filename.concat "bin" "archpred.exe") in
+    if Sys.file_exists exe then exe
+    else
+      Archpred_obs.Error.invalid_input ~where:"bench"
+        (Printf.sprintf "worker binary %s not built (run `dune build` first)"
+           exe)
+  in
+  let cells =
+    List.length (shard_spec ~stream_refit:true).Shard.Spec.p_min_grid
+    * List.length (shard_spec ~stream_refit:true).Shard.Spec.alpha_grid
+  in
+  Printf.printf "sharded search (mcf, sizes %s, trace %d, %d tune cells)\n%!"
+    (String.concat "," (List.map string_of_int shard_sizes))
+    (shard_spec ~stream_refit:true).Shard.Spec.trace_length cells;
+  let redraw_s, _redraw = shard_single_run (shard_spec ~stream_refit:false) in
+  Printf.printf "  single-process redraw-per-size  %7.2f s\n%!" redraw_s;
+  let obs = Archpred_obs.create () in
+  let stream_s, stream_trained =
+    shard_single_run ~obs (shard_spec ~stream_refit:true)
+  in
+  let rows_full = Archpred_obs.counter obs "refit.rows_full" in
+  let rows_pushed = Archpred_obs.counter obs "refit.rows_pushed" in
+  let crosschecks = Archpred_obs.counter obs "refit.crosschecks" in
+  Printf.printf
+    "  single-process streaming refit  %7.2f s  (%.2fx; refit rows: %d \
+     full + %d pushed over %d cells, %d crosschecks)\n%!"
+    stream_s (redraw_s /. stream_s) rows_full rows_pushed cells crosschecks;
+  let stream_model = Core.Persist.to_string stream_trained.Core.Build.predictor in
+  let rows =
+    List.map
+      (fun workers ->
+        let wall, outcome =
+          shard_sharded_run ~exe ~workers (shard_spec ~stream_refit:true)
+        in
+        let final = outcome.Shard.Coordinator.result.Shard.Stages.final in
+        let identical =
+          String.equal stream_model
+            (Core.Persist.to_string final.Core.Build.predictor)
+        in
+        Printf.printf
+          "  %d worker%s                       %7.2f s  (%.2fx vs redraw, \
+           %.2fx vs stream, bit-identical %b, %d respawns)\n%!"
+          workers
+          (if workers = 1 then " " else "s")
+          wall (redraw_s /. wall) (stream_s /. wall) identical
+          outcome.Shard.Coordinator.respawns;
+        Json.Obj
+          [
+            ("workers", Json.Int workers);
+            ("wall_s", Json.Float wall);
+            ("speedup_vs_single_redraw", Json.Float (redraw_s /. wall));
+            ("speedup_vs_single_stream", Json.Float (stream_s /. wall));
+            ("bit_identical_to_single_stream", Json.Bool identical);
+            ("respawns", Json.Int outcome.Shard.Coordinator.respawns);
+          ])
+      [ 1; 2; 4 ]
+  in
+  (* Rows a redraw-per-size procedure folds into every cell's moments
+     from scratch, for scale against the measured counters. *)
+  let redraw_rows_per_cell = List.fold_left ( + ) 0 shard_sizes in
+  let path = "BENCH_shard.json" in
+  Core.Bench_report.write ~path ~schema:"archpred-shard-v1"
+    [
+      ("benchmark", Json.String "mcf");
+      ("trace_length",
+       Json.Int (shard_spec ~stream_refit:true).Shard.Spec.trace_length);
+      ("sizes", Json.List (List.map (fun n -> Json.Int n) shard_sizes));
+      ("test_n", Json.Int (shard_spec ~stream_refit:true).Shard.Spec.test_n);
+      ("lhs_candidates",
+       Json.Int (shard_spec ~stream_refit:true).Shard.Spec.lhs_candidates);
+      ("shard_unit",
+       Json.Int (shard_spec ~stream_refit:true).Shard.Spec.shard_unit);
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
+      ("single_redraw_s", Json.Float redraw_s);
+      ("single_stream_s", Json.Float stream_s);
+      ("stream_vs_redraw_speedup", Json.Float (redraw_s /. stream_s));
+      ("sharded", Json.List rows);
+      ( "refit",
+        Json.Obj
+          [
+            ("cells", Json.Int cells);
+            ("rows_full", Json.Int rows_full);
+            ("rows_pushed", Json.Int rows_pushed);
+            ("crosschecks", Json.Int crosschecks);
+            ("redraw_rows_per_cell", Json.Int redraw_rows_per_cell);
+          ] );
+    ];
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: the crash-safety journal must not tax training. *)
@@ -545,6 +797,10 @@ let () =
   if List.mem "--sim" args then (
     run_sim ();
     (* archpred-lint: allow exit -- CLI early-exit after the sim-only run *)
+    exit 0);
+  if List.mem "--shard" args then (
+    run_shard ();
+    (* archpred-lint: allow exit -- CLI early-exit after the shard-only run *)
     exit 0);
   let micro_only = List.mem "--micro" args in
   let paper_flag = List.mem "--paper" args in

@@ -5,6 +5,8 @@
      simulate     run the cycle-level simulator on one benchmark/config
      sample       draw a discrepancy-optimised latin hypercube sample
      train        build an RBF CPI model for a benchmark and report accuracy
+                  (--shards K fans the build out over worker processes)
+     worker       process work units of a sharded run (train --shards)
      serve        batched-prediction load test against a saved model
      served       long-running prediction daemon on a Unix/TCP socket
      search       model-driven search for the best design point
@@ -24,6 +26,7 @@ module Core = Archpred_core
 module Experiments = Archpred_experiments
 module Obs = Archpred_obs
 module Serve_net = Archpred_serve_net
+module Shard = Archpred_shard
 
 (* ---------- observability & error plumbing ---------- *)
 
@@ -307,9 +310,114 @@ let train_cmd =
       & info [ "sizes" ] ~docv:"N,N,..."
           ~doc:"Sample-size schedule used with --target-error.")
   in
-  let run bench n trace_length seed test_n metric save target sizes checkpoint
-      resume trace metrics =
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Run the build as K cooperating worker processes sharing a run \
+             directory ($(b,--shard-dir)).  The trained model is \
+             bit-identical to a single-process run.")
+  in
+  let shard_dir_t =
+    Arg.(
+      value
+      & opt string "shard-run"
+      & info [ "shard-dir" ] ~docv:"DIR"
+          ~doc:
+            "Run directory for $(b,--shards): spec, claim files and \
+             per-worker journals live here.")
+  in
+  let stream_refit_t =
+    Arg.(
+      value & flag
+      & info [ "stream-refit" ]
+          ~doc:
+            "With $(b,--target-error): grow one nested sample and extend \
+             the tuning fit by rank-1 updates instead of refitting from \
+             scratch at every size (deterministic, but a deliberate \
+             departure from the paper's redraw-per-size procedure).")
+  in
+  (* Print the accuracy-schedule steps and the final model summary — the
+     sharded and single-process paths share this tail. *)
+  let report ~t0 ~save ~extra trained steps err =
+    List.iter
+      (fun (s : Core.Build.step) ->
+        Format.printf "  n=%-4d mean error %.2f%%@." s.Core.Build.size
+          s.Core.Build.test_error.Stats.Error_metrics.mean_pct)
+      steps;
+    Format.printf "p_min=%d alpha=%.0f centers=%d discrepancy=%.5f (%.1fs%s)@."
+      trained.Core.Build.tune.Core.Tune.p_min
+      trained.Core.Build.tune.Core.Tune.alpha
+      (Core.Predictor.n_centers trained.Core.Build.predictor)
+      trained.Core.Build.discrepancy
+      (Int64.to_float (Int64.sub (Archpred_obs.now_ns ()) t0) *. 1e-9)
+      extra;
+    (match err with
+    | Some err -> Format.printf "test error: %a@." Stats.Error_metrics.pp err
+    | None -> ());
+    match save with
+    | Some path ->
+        Core.Persist.save trained.Core.Build.predictor path;
+        Format.printf "model written to %s@." path
+    | None -> ()
+  in
+  let run_sharded ~obs ~bench ~n ~trace_length ~seed ~test_n ~metric ~save
+      ~target ~sizes ~shards ~shard_dir ~stream_refit =
+    let base = base_config ~obs ~seed () in
+    let spec =
+      {
+        Shard.Spec.benchmark = bench.Workloads.Profile.name;
+        metric;
+        seed;
+        trace_length;
+        sample_size = n;
+        test_n;
+        lhs_candidates = base.Core.Config.lhs_candidates;
+        criterion = base.Core.Config.criterion;
+        p_min_grid = base.Core.Config.p_min_grid;
+        alpha_grid = base.Core.Config.alpha_grid;
+        shard_unit = base.Core.Config.shard_unit;
+        stream_refit;
+        refit_full_every = base.Core.Config.refit_full_every;
+        mode =
+          (match target with
+          | None -> Shard.Spec.Train
+          | Some target_mean_pct ->
+              Shard.Spec.Accuracy { sizes; target_mean_pct });
+      }
+    in
+    Format.printf "sharded build for %s: %d workers in %s...@."
+      bench.Workloads.Profile.name shards shard_dir;
+    let argv id =
+      [| Sys.executable_name; "worker"; "--dir"; shard_dir; "--id"; id |]
+    in
+    let t0 = Archpred_obs.now_ns () in
+    let outcome =
+      Shard.Coordinator.run ~obs ~dir:shard_dir ~spec ~workers:shards ~argv ()
+    in
+    let result = outcome.Shard.Coordinator.result in
+    report ~t0 ~save
+      ~extra:
+        (Printf.sprintf ", %d workers, %d respawns"
+           outcome.Shard.Coordinator.workers
+           outcome.Shard.Coordinator.respawns)
+      result.Shard.Stages.final result.Shard.Stages.steps
+      outcome.Shard.Coordinator.test_error
+  in
+  let run bench n trace_length seed test_n metric save target sizes shards
+      shard_dir stream_refit checkpoint resume trace metrics =
     with_obs ~trace ~metrics @@ fun obs ->
+    if shards > 1 then (
+      (match checkpoint with
+      | Some _ ->
+          Obs.Error.invalid_input ~where:"archpred"
+            "--checkpoint is not supported with --shards (per-worker \
+             journals live in --shard-dir)"
+      | None -> ());
+      run_sharded ~obs ~bench ~n ~trace_length ~seed ~test_n ~metric ~save
+        ~target ~sizes ~shards ~shard_dir ~stream_refit)
+    else
     let rng = Stats.Rng.create seed in
     let response =
       Core.Response.simulator_metric ~obs ~trace_length ~seed ~metric bench
@@ -323,16 +431,18 @@ let train_cmd =
       |> Core.Config.with_rng rng
       |> Core.Config.with_sample_size n
       |> Core.Config.with_trace_length trace_length
+      |> Core.Config.with_stream_refit stream_refit
       |> with_checkpoint ~checkpoint ~resume
     in
     let t0 = Archpred_obs.now_ns () in
-    let trained =
+    let trained, steps =
       match target with
       | None ->
           Format.printf "training RBF %s model for %s (n=%d, trace=%d)...@."
             (Core.Response.metric_to_string metric)
             bench.Workloads.Profile.name n trace_length;
-          Core.Build.train ~config ~space:Core.Paper_space.space ~response ()
+          ( Core.Build.train ~config ~space:Core.Paper_space.space ~response (),
+            [] )
       | Some target_mean_pct ->
           Format.printf
             "building to %.1f%% mean error for %s (schedule %s)...@."
@@ -343,37 +453,83 @@ let train_cmd =
               ~response ~sizes ~test_points:test ~test_responses:actual
               ~target_mean_pct ()
           in
-          List.iter
-            (fun (s : Core.Build.step) ->
-              Format.printf "  n=%-4d mean error %.2f%%@." s.Core.Build.size
-                s.Core.Build.test_error.Stats.Error_metrics.mean_pct)
-            history.Core.Build.steps;
-          history.Core.Build.final.Core.Build.trained
+          ( history.Core.Build.final.Core.Build.trained,
+            history.Core.Build.steps )
     in
     let err =
       Core.Predictor.errors_on trained.Core.Build.predictor ~points:test
         ~actual
     in
-    Format.printf "p_min=%d alpha=%.0f centers=%d discrepancy=%.5f (%.1fs)@."
-      trained.Core.Build.tune.Core.Tune.p_min
-      trained.Core.Build.tune.Core.Tune.alpha
-      (Core.Predictor.n_centers trained.Core.Build.predictor)
-      trained.Core.Build.discrepancy
-      (Int64.to_float (Int64.sub (Archpred_obs.now_ns ()) t0) *. 1e-9);
-    Format.printf "test error: %a@." Stats.Error_metrics.pp err;
-    match save with
-    | Some path ->
-        Core.Persist.save trained.Core.Build.predictor path;
-        Format.printf "model written to %s@." path
-    | None -> ()
+    report ~t0 ~save ~extra:"" trained steps (Some err)
   in
   Cmd.v
     (Cmd.info "train"
        ~doc:"Train an RBF performance model and report its accuracy")
     Term.(
       const run $ bench_t $ sample_size_t $ trace_length_t $ seed_t $ test_n_t
-      $ metric_t $ save_t $ target_t $ sizes_t $ checkpoint_t $ resume_t
-      $ trace_t $ metrics_t)
+      $ metric_t $ save_t $ target_t $ sizes_t $ shards_t $ shard_dir_t
+      $ stream_refit_t $ checkpoint_t $ resume_t $ trace_t $ metrics_t)
+
+(* ---------- worker ---------- *)
+
+let worker_cmd =
+  let dir_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Run directory written by the coordinator (train --shards).")
+  in
+  let id_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"This worker's unique id (e.g. w0).")
+  in
+  let poll_t =
+    Arg.(
+      value & opt float 0.02
+      & info [ "poll" ] ~docv:"SECONDS"
+          ~doc:"Back-off while waiting on units claimed by other workers.")
+  in
+  (* Crash-injection hook for the sharded crash-recovery tests:
+     ARCHPRED_SHARD_FAULT="<id>:<site>:<after>[:sticky]" arms the fault
+     only in the worker whose --id matches exactly — respawned workers
+     get fresh ids ("w1.r1"), so the replacement survives the site the
+     casualty died at. *)
+  let arm_fault id =
+    match Sys.getenv_opt "ARCHPRED_SHARD_FAULT" with
+    | None -> ()
+    | Some v -> (
+        match String.split_on_char ':' v with
+        | [ wid; site; after ] | [ wid; site; after; "sticky" ] ->
+            if String.equal wid id then
+              let sticky =
+                match String.split_on_char ':' v with
+                | [ _; _; _; _ ] -> true
+                | _ -> false
+              in
+              let after =
+                match int_of_string_opt after with
+                | Some a -> a
+                | None ->
+                    Obs.Error.invalid_env ~var:"ARCHPRED_SHARD_FAULT"
+                      "count must be an integer"
+              in
+              Archpred_fault.Fault.arm ~site ~after ~sticky ()
+        | _ ->
+            Obs.Error.invalid_env ~var:"ARCHPRED_SHARD_FAULT"
+              "expected <id>:<site>:<after>[:sticky]")
+  in
+  let run dir id poll trace metrics =
+    with_obs ~trace ~metrics @@ fun obs ->
+    arm_fault id;
+    Shard.Worker.run ~obs ~dir ~id ~poll ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Process work units of a sharded run (spawned by train --shards)")
+    Term.(const run $ dir_t $ id_t $ poll_t $ trace_t $ metrics_t)
 
 (* ---------- predict ---------- *)
 
@@ -813,6 +969,7 @@ let () =
             simulate_cmd;
             sample_cmd;
             train_cmd;
+            worker_cmd;
             predict_cmd;
             serve_cmd;
             served_cmd;

@@ -43,80 +43,81 @@ let bits_equal a b =
    are re-simulated; the assembled response array is index-ordered, so
    the final model is bit-identical to an uninterrupted run at any
    domain count. *)
-let simulate ~(config : Config.t) ~response sample =
-  let { Config.domains; obs; task_retries; task_deadline; _ } = config in
-  let n = Array.length sample in
-  let r0 = Stats.Parallel.retries_total () in
-  let f0 = Stats.Parallel.failed_total () in
-  let journal, replayed =
-    match config.Config.checkpoint with
-    | None -> (None, [])
-    | Some path ->
-        let dim = if n = 0 then 0 else Array.length sample.(0) in
-        let j, records =
-          Checkpoint.start ~path ~n ~dim ~seed:config.Config.seed
-            ~response:response.Response.name ~resume:config.Config.resume ()
-        in
-        List.iter
-          (fun (r : Checkpoint.record) ->
-            if not (bits_equal r.Checkpoint.point sample.(r.Checkpoint.index))
-            then
-              Obs.Error.invalid_input ~where:"Build.train"
-                (Printf.sprintf
-                   "checkpoint journal %s: record %d does not match this \
-                    run's sample (was it written by a different \
-                    configuration?)"
-                   path r.Checkpoint.index))
-          records;
-        (Some j, records)
-  in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Checkpoint.close_noerr journal)
-    (fun () ->
-      let results = Array.make n nan in
-      let have = Array.make n false in
+(* Open (or resume) the run's journal and validate the replayed records
+   against the deterministically re-drawn [sample].  [n] is the header's
+   sample size — the streaming schedule journals its whole nested sample
+   under one header, so it may exceed the prefix any one step simulates. *)
+let start_journal ~(config : Config.t) ~response ~n sample =
+  match config.Config.checkpoint with
+  | None -> (None, [])
+  | Some path ->
+      let dim = if n = 0 then 0 else Array.length sample.(0) in
+      let j, records =
+        Checkpoint.start ~path ~n ~dim ~seed:config.Config.seed
+          ~response:response.Response.name ~resume:config.Config.resume ()
+      in
       List.iter
         (fun (r : Checkpoint.record) ->
-          results.(r.Checkpoint.index) <- r.Checkpoint.value;
-          have.(r.Checkpoint.index) <- true)
-        replayed;
-      let missing =
-        Array.of_seq
-          (Seq.filter (fun i -> not have.(i)) (Seq.init n Fun.id))
-      in
-      (* Fast path: a response with a batched evaluator (the simulator)
-         runs the missing points in [sim_batch]-sized fan-outs through
-         [Sim.Batch] — bit-identical to the pointwise path, so journals
-         written by either path replay into the other.  Each completed
-         chunk journals point by point; a crash forfeits at most one
-         chunk plus the current fsync batch. *)
-      match response.Response.eval_many with
-      | Some many when config.Config.sim_batch > 1 ->
-          let bs = config.Config.sim_batch in
-          let pos = ref 0 in
-          while !pos < Array.length missing do
-            Fault.point "sim.batch";
-            let len = min bs (Array.length missing - !pos) in
-            let idx = Array.sub missing !pos len in
-            let vals = many ?domains (Array.map (fun i -> sample.(i)) idx) in
-            Array.iteri
-              (fun k i ->
-                results.(i) <- vals.(k);
-                match journal with
-                | Some j ->
-                    Checkpoint.append j
-                      {
-                        Checkpoint.index = i;
-                        point = sample.(i);
-                        value = vals.(k);
-                      }
-                | None -> ())
-              idx;
-            pos := !pos + len
-          done;
-          Option.iter Checkpoint.close journal;
-          results
-      | Some _ | None ->
+          if not (bits_equal r.Checkpoint.point sample.(r.Checkpoint.index))
+          then
+            Obs.Error.invalid_input ~where:"Build.train"
+              (Printf.sprintf
+                 "checkpoint journal %s: record %d does not match this \
+                  run's sample (was it written by a different \
+                  configuration?)"
+                 path r.Checkpoint.index))
+        records;
+      (Some j, records)
+
+(* Simulate every not-yet-[have] design point with index below [upto],
+   filling [results]/[have] in place and journaling each completed point.
+   The journal stays open — the streaming schedule calls this once per
+   size step against one journal; [simulate] closes it around a single
+   call.  On permanent task failures the journal is synced (a resumed run
+   must see every completed point) before [Infeasible] is raised. *)
+let simulate_missing ~(config : Config.t) ~response ~journal ~results ~have
+    ~upto sample =
+  let { Config.domains; obs; task_retries; task_deadline; _ } = config in
+  let r0 = Stats.Parallel.retries_total () in
+  let f0 = Stats.Parallel.failed_total () in
+  let missing =
+    Array.of_seq (Seq.filter (fun i -> not have.(i)) (Seq.init upto Fun.id))
+  in
+  let record i v =
+    results.(i) <- v;
+    have.(i) <- true
+  in
+  (* Fast path: a response with a batched evaluator (the simulator)
+     runs the missing points in [sim_batch]-sized fan-outs through
+     [Sim.Batch] — bit-identical to the pointwise path, so journals
+     written by either path replay into the other.  Each completed
+     chunk journals point by point; a crash forfeits at most one
+     chunk plus the current fsync batch. *)
+  match response.Response.eval_many with
+  | Some many when config.Config.sim_batch > 1 ->
+      let bs = config.Config.sim_batch in
+      let pos = ref 0 in
+      while !pos < Array.length missing do
+        Fault.point "sim.batch";
+        let len = min bs (Array.length missing - !pos) in
+        let idx = Array.sub missing !pos len in
+        let vals = many ?domains (Array.map (fun i -> sample.(i)) idx) in
+        Array.iteri
+          (fun k i ->
+            record i vals.(k);
+            match journal with
+            | Some j ->
+                Checkpoint.append j
+                  {
+                    Checkpoint.index = i;
+                    point = sample.(i);
+                    value = vals.(k);
+                  }
+            | None -> ())
+          idx;
+        pos := !pos + len
+      done
+  | Some _ | None -> (
       let outcomes =
         Stats.Parallel.map_fallible ?domains ~retries:task_retries
           ?deadline:task_deadline
@@ -135,28 +136,46 @@ let simulate ~(config : Config.t) ~response sample =
       Array.iteri
         (fun k outcome ->
           match outcome with
-          | Ok v -> results.(missing.(k)) <- v
+          | Ok v -> record missing.(k) v
           | Error e -> failures := (missing.(k), e) :: !failures)
         outcomes;
       let failures = List.rev !failures in
       Obs.count obs "pool.retries" (Stats.Parallel.retries_total () - r0);
       Obs.count obs "pool.failed_tasks" (Stats.Parallel.failed_total () - f0);
-      (* The journal is made durable and closed before any failure is
-         reported: a resumed run must see every completed point. *)
-      Option.iter Checkpoint.close journal;
       match failures with
-      | [] -> results
+      | [] -> ()
       | (i0, e0) :: _ ->
+          (* Make the journal durable before reporting: a resumed run
+             must see every completed point. *)
+          Option.iter Checkpoint.sync journal;
           Obs.Error.infeasible ~where:"Build.train"
             (Printf.sprintf
                "%d of %d design points failed permanently (retry budget \
                 %d; first failure at point %d: %s); completed simulations \
                 %s"
-               (List.length failures) n task_retries i0
+               (List.length failures) upto task_retries i0
                (Printexc.to_string e0)
                (match config.Config.checkpoint with
                | Some p -> "are journaled in " ^ p
                | None -> "were discarded (no checkpoint configured)")))
+
+let simulate ~(config : Config.t) ~response sample =
+  let n = Array.length sample in
+  let journal, replayed = start_journal ~config ~response ~n sample in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Checkpoint.close_noerr journal)
+    (fun () ->
+      let results = Array.make n nan in
+      let have = Array.make n false in
+      List.iter
+        (fun (r : Checkpoint.record) ->
+          results.(r.Checkpoint.index) <- r.Checkpoint.value;
+          have.(r.Checkpoint.index) <- true)
+        replayed;
+      simulate_missing ~config ~response ~journal ~results ~have ~upto:n
+        sample;
+      Option.iter Checkpoint.close journal;
+      results)
 
 let train ?(config = Config.default) ~space ~response () =
   let config = Config.validate config in
@@ -202,6 +221,86 @@ type step = {
 
 type history = { steps : step list; final : step }
 
+(* The streaming schedule: one LHS campaign at the largest size, whose
+   prefix is the size-n sample of every earlier step; each step simulates
+   only the new rows and extends the tuning state through {!Refit} instead
+   of refitting every grid cell from scratch.  A deliberate departure from
+   the paper's redraw-per-size procedure, gated behind
+   [Config.stream_refit]. *)
+let stream_to_accuracy ~(config : Config.t) ~space ~response ~sizes
+    ~test_points ~test_responses ~target_mean_pct =
+  let config = Config.validate config in
+  let { Config.domains; lhs_candidates; obs; _ } = config in
+  let n_max = List.fold_left max 1 sizes in
+  let rng = Config.rng_of config in
+  Obs.with_span obs "build.stream" @@ fun () ->
+  let plan =
+    Obs.with_span obs "build.sample" @@ fun () ->
+    Design.Optimize.best_lhs ~obs ~kind:Design.Discrepancy.Star
+      ~candidates:lhs_candidates ?domains rng space ~n:n_max
+  in
+  let sample = plan.Design.Optimize.points in
+  (* One journal spans the whole schedule (the sample is nested); the
+     [.stream] suffix keeps it apart from the per-size journals of the
+     default procedure, whose headers it would mismatch. *)
+  let config =
+    match config.Config.checkpoint with
+    | None -> config
+    | Some path -> Config.with_checkpoint (path ^ ".stream") config
+  in
+  let journal, replayed = start_journal ~config ~response ~n:n_max sample in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Checkpoint.close_noerr journal)
+    (fun () ->
+      let results = Array.make n_max nan in
+      let have = Array.make n_max false in
+      List.iter
+        (fun (r : Checkpoint.record) ->
+          results.(r.Checkpoint.index) <- r.Checkpoint.value;
+          have.(r.Checkpoint.index) <- true)
+        replayed;
+      let refit = Refit.create config in
+      let dim = Design.Space.dimension space in
+      let rec go acc = function
+        | [] ->
+            let steps = List.rev acc in
+            { steps; final = List.hd acc }
+        | n :: rest ->
+            (Obs.with_span obs "build.simulate" @@ fun () ->
+             simulate_missing ~config ~response ~journal ~results ~have
+               ~upto:n sample);
+            let points = Array.sub sample 0 n in
+            let responses = Array.sub results 0 n in
+            let tune = Refit.fit refit ~dim ~points ~responses in
+            let predictor =
+              Predictor.make ~space
+                ~network:tune.Tune.selection.Archpred_rbf.Selection.network
+                ~tree:tune.Tune.tree ~p_min:tune.Tune.p_min
+                ~alpha:tune.Tune.alpha ()
+            in
+            let trained =
+              {
+                predictor;
+                sample = points;
+                sample_responses = responses;
+                discrepancy = plan.Design.Optimize.discrepancy;
+                criterion = tune.Tune.criterion;
+                tune;
+              }
+            in
+            let test_error =
+              Predictor.errors_on trained.predictor ~points:test_points
+                ~actual:test_responses
+            in
+            let step = { size = n; trained; test_error } in
+            if test_error.Stats.Error_metrics.mean_pct <= target_mean_pct
+            then { steps = List.rev (step :: acc); final = step }
+            else go (step :: acc) rest
+      in
+      let history = go [] sizes in
+      Option.iter Checkpoint.close journal;
+      history)
+
 let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
     ~test_points ~test_responses ~target_mean_pct () =
   if sizes = [] then
@@ -211,6 +310,10 @@ let build_to_accuracy ?(config = Config.default) ~space ~response ~sizes
      pre-Config behaviour of threading a single stateful rng through. *)
   let config = Config.with_rng (Config.rng_of config) config in
   let sizes = List.sort_uniq Int.compare sizes in
+  if config.Config.stream_refit then
+    stream_to_accuracy ~config ~space ~response ~sizes ~test_points
+      ~test_responses ~target_mean_pct
+  else
   (* Each size is its own simulation campaign, so each gets its own
      journal ([path.n<size>]) — replaying a 30-point journal into a
      50-point run would mismatch. *)

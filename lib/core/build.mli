@@ -90,4 +90,17 @@ val build_to_accuracy :
     from one shared generator stream resolved once from [config].  With
     [config.checkpoint] set, each size journals to its own sidecar
     ([path.n<size>]).  Raises [Archpred (Invalid_input _)] on an empty
-    size schedule. *)
+    size schedule.
+
+    {b Streaming refit.}  With [config.stream_refit] the schedule departs
+    from the paper's redraw-per-size procedure: one LHS campaign is run
+    at the largest size, each step's sample is the prefix of that nested
+    sample, only the new rows are simulated, and the tuning grid is
+    extended by rank-1 moment pushes ({!Refit}) instead of refit from
+    scratch — with a periodic from-scratch cross-check every
+    [config.refit_full_every] steps.  Each step's [trained.discrepancy]
+    is then the discrepancy of the full nested sample, and the single
+    journal is suffixed [.stream] rather than [.n<size>].  The streamed
+    model is deterministic in the configuration — identical at any
+    domain or worker-process count — but (by design) differs from the
+    default procedure's model. *)

@@ -29,6 +29,9 @@ let float_of_hex i s =
 
 let frame payload = Crc32.to_hex (Crc32.string payload) ^ " " ^ payload ^ "\n"
 
+let float_to_hex_string = float_to_hex
+let float_of_hex_string = float_of_string_opt
+
 let header_payload ~n ~dim ~seed ~response =
   Json.to_string
     (Json.Obj

@@ -93,3 +93,26 @@ val scan : path:string -> record list
 (** Replay a journal read-only: the valid records of the intact prefix,
     duplicates dropped, torn tail ignored, no truncation, any header
     accepted.  For tests and inspection. *)
+
+(** {2 Framing primitives}
+
+    The CRC-framed-line format is also the substrate of the sharded-search
+    result journals ({!Archpred_shard}); these helpers are the single
+    implementation of the frame so the two journal families cannot
+    drift. *)
+
+val frame : string -> string
+(** [frame payload] is the journal line for [payload]:
+    ["<crc32-hex> <payload>\n"]. *)
+
+val unframe : string -> Archpred_obs.Json.t option
+(** Parse one newline-stripped journal line: the payload JSON if the
+    checksum verifies and the payload parses, [None] for a torn or
+    corrupted line. *)
+
+val float_to_hex_string : float -> string
+(** ["%h"] rendering — round-trips every bit pattern. *)
+
+val float_of_hex_string : string -> float option
+(** Inverse of {!float_to_hex_string} (accepts any [float_of_string]
+    literal). *)

@@ -17,6 +17,9 @@ type t = {
   task_retries : int;
   task_deadline : float option;
   sim_batch : int;
+  stream_refit : bool;
+  refit_full_every : int;
+  shard_unit : int;
 }
 
 (* Table 4 of the paper finds the best leaf size is 1 or 2, and the best
@@ -41,6 +44,9 @@ let default =
     task_retries = 1;
     task_deadline = None;
     sim_batch = 16;
+    stream_refit = false;
+    refit_full_every = 0;
+    shard_unit = 4;
   }
 
 let with_seed seed t = { t with seed; rng = None }
@@ -59,6 +65,9 @@ let with_resume resume t = { t with resume }
 let with_task_retries task_retries t = { t with task_retries }
 let with_task_deadline d t = { t with task_deadline = Some d }
 let with_sim_batch sim_batch t = { t with sim_batch }
+let with_stream_refit stream_refit t = { t with stream_refit }
+let with_refit_full_every refit_full_every t = { t with refit_full_every }
+let with_shard_unit shard_unit t = { t with shard_unit }
 let rng_of t = match t.rng with Some rng -> rng | None -> Rng.create t.seed
 
 let validate t =
@@ -86,4 +95,8 @@ let validate t =
   | Some _ | None -> ());
   if t.sim_batch < 1 then
     Obs.Error.invalid_input ~where:"Config" "sim_batch < 1";
+  if t.refit_full_every < 0 then
+    Obs.Error.invalid_input ~where:"Config" "refit_full_every < 0";
+  if t.shard_unit < 1 then
+    Obs.Error.invalid_input ~where:"Config" "shard_unit < 1";
   t

@@ -48,6 +48,23 @@ type t = {
       (** design points simulated per {!Archpred_sim.Batch} fan-out when
           the response carries a batched evaluator (default 16); [1]
           forces the pointwise reference path *)
+  stream_refit : bool;
+      (** [build_to_accuracy] only: grow one nested sample across the size
+          schedule and update the tuning-grid Gram moments by rank-1 row
+          pushes ({!Refit}) as new simulation points arrive, instead of
+          redrawing the sample and refitting every cell from scratch at
+          each size step.  Off (the default) preserves the paper's
+          independent-sample procedure bit for bit. *)
+  refit_full_every : int;
+      (** with [stream_refit]: rebuild the tree basis from scratch (and
+          cross-check the streamed criterion against the full refit) every
+          this many size steps; [0] (default) never rebuilds after the
+          first step *)
+  shard_unit : int;
+      (** design points (or grid cells, or LHS candidates) per claimable
+          work unit when the run is sharded across worker processes
+          ({!Archpred_shard}); both coordinator and workers derive the
+          same partition from this value (default 4) *)
 }
 
 val default : t
@@ -90,6 +107,17 @@ val with_task_deadline : float -> t -> t
 val with_sim_batch : int -> t -> t
 (** Batch size for simulator-backed responses in {!Build.train}'s
     simulation stage; bit-identical to the pointwise path at any value. *)
+
+val with_stream_refit : bool -> t -> t
+(** Streaming incremental refit across [build_to_accuracy] size steps;
+    see {!t.stream_refit}. *)
+
+val with_refit_full_every : int -> t -> t
+(** Full-refit (basis rebuild + cross-check) cadence under
+    [stream_refit]; [0] disables. *)
+
+val with_shard_unit : int -> t -> t
+(** Work-unit granularity of the sharded search partition. *)
 
 val rng_of : t -> Archpred_stats.Rng.t
 (** The explicit generator when set, otherwise a fresh one from [seed].

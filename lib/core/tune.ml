@@ -14,6 +14,31 @@ type result = {
 let default_p_min_grid = Config.default_p_min_grid
 let default_alpha_grid = Config.default_alpha_grid
 
+(* The canonical grid-cell order — p_min outer, alpha inner — is the serial
+   iteration order every consumer (the grid walk below, the streaming refit,
+   the sharded tune stage) must share: the arg-min keeps the earliest cell
+   on ties, so the cell *order* is part of the model's determinism
+   contract, not just the cell set. *)
+let cells config =
+  let { Config.p_min_grid; alpha_grid; _ } = config in
+  if p_min_grid = [] || alpha_grid = [] then
+    Obs.Error.invalid_input ~where:"Tune.cells" "empty grid";
+  Array.of_list
+    (List.concat_map
+       (fun p_min -> List.map (fun alpha -> (p_min, alpha)) alpha_grid)
+       p_min_grid)
+
+let eval_cell ?(obs = Obs.null) ~criterion ~tree ~points ~responses ~alpha () =
+  let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
+  Rbf.Selection.select ~obs ~criterion ~tree ~candidates ~points ~responses ()
+
+let best_of results =
+  let best = ref results.(0) in
+  for i = 1 to Array.length results - 1 do
+    if results.(i).criterion < !best.criterion then best := results.(i)
+  done;
+  !best
+
 let tune ?(config = Config.default) ~dim ~points ~responses () =
   let { Config.criterion; p_min_grid; alpha_grid; domains; obs; _ } = config in
   if p_min_grid = [] || alpha_grid = [] then
@@ -27,27 +52,21 @@ let tune ?(config = Config.default) ~dim ~points ~responses () =
       (fun p_min -> Tree.build ~obs ~p_min ~dim ~points ~responses ())
       p_mins
   in
-  (* Fan the full p_min x alpha grid over the pool.  Cells are listed in
-     the serial iteration order (p_min outer, alpha inner) and each cell's
-     selection is deterministic, so the arg-min below — which keeps the
-     earliest cell on ties — matches the serial grid walk bit for bit,
-     whatever the domain count. *)
-  let cells =
-    Array.concat
-      (List.map
-         (fun i ->
-           Array.of_list
-             (List.map (fun alpha -> (p_mins.(i), trees.(i), alpha)) alpha_grid))
-         (List.init (Array.length p_mins) Fun.id))
+  let tree_for p_min =
+    let rec find i = if p_mins.(i) = p_min then trees.(i) else find (i + 1) in
+    find 0
   in
-  Obs.count obs "tune.cells" (Array.length cells);
+  (* Fan the full p_min x alpha grid over the pool in canonical cell order;
+     each cell's selection is deterministic, so the arg-min — earliest cell
+     on ties — matches the serial grid walk bit for bit, whatever the
+     domain count. *)
+  let grid = Array.map (fun (p, a) -> (p, tree_for p, a)) (cells config) in
+  Obs.count obs "tune.cells" (Array.length grid);
   let results =
     Parallel.map ?domains
       (fun (p_min, tree, alpha) ->
-        let candidates = Rbf.Tree_centers.of_tree ~alpha tree in
         let selection =
-          Rbf.Selection.select ~obs ~criterion ~tree ~candidates ~points
-            ~responses ()
+          eval_cell ~obs ~criterion ~tree ~points ~responses ~alpha ()
         in
         {
           p_min;
@@ -56,10 +75,6 @@ let tune ?(config = Config.default) ~dim ~points ~responses () =
           tree;
           selection;
         })
-      cells
+      grid
   in
-  let best = ref results.(0) in
-  for i = 1 to Array.length results - 1 do
-    if results.(i).criterion < !best.criterion then best := results.(i)
-  done;
-  !best
+  best_of results

@@ -19,6 +19,29 @@ val default_p_min_grid : int list
 val default_alpha_grid : float list
 (** [Config.default_alpha_grid]. *)
 
+val cells : Config.t -> (int * float) array
+(** The tuning grid in canonical cell order: [p_min] outer, [alpha] inner
+    — the serial iteration order.  The arg-min over cells keeps the
+    earliest cell on ties, so every consumer of the grid (this module's
+    walk, the streaming refit, the sharded tune stage) must enumerate
+    cells in exactly this order to reproduce the same winner.  Raises
+    [Archpred (Invalid_input _)] on an empty grid. *)
+
+val eval_cell :
+  ?obs:Archpred_obs.t ->
+  criterion:Archpred_rbf.Criteria.t ->
+  tree:Archpred_regtree.Tree.t ->
+  points:float array array ->
+  responses:float array ->
+  alpha:float ->
+  unit ->
+  Archpred_rbf.Selection.result
+(** Evaluate one grid cell against a tree already built for its [p_min]:
+    derive the candidate centers at [alpha] and run the tree-ordered
+    selection.  Deterministic in its inputs — {!tune} and the sharded
+    tune stage both call this, which is what makes a sharded grid walk
+    bit-identical to the serial one. *)
+
 val tune :
   ?config:Config.t ->
   dim:int ->

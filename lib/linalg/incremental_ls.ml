@@ -1,9 +1,9 @@
 type t = {
-  p : int;
+  mutable p : int;
   n_cols : int;
   gram : float array; (* n_cols x n_cols, row-major; symmetric *)
   hy : float array; (* n_cols *)
-  yty : float;
+  mutable yty : float;
   jitter : float;
 }
 
@@ -34,6 +34,28 @@ let create ?(jitter = 0.) ~design ~responses () =
 let p t = t.p
 let n_cols t = t.n_cols
 let yty t = t.yty
+
+(* Streaming (rank-1) moment update: one new observation row extends the
+   Gram and moment sums without touching the existing entries' history, so
+   pushing rows one by one in index order is deterministic whatever batch
+   shape they arrived in.  Runs on the streaming-refit hot path, so it must
+   not allocate: plain loops over the preallocated moment arrays. *)
+let add_row t ~row ~y =
+  if Array.length row <> t.n_cols then
+    invalid_arg "Incremental_ls.add_row: row width mismatch";
+  let n = t.n_cols in
+  let gram = t.gram and hy = t.hy in
+  for a = 0 to n - 1 do
+    let ha = Array.unsafe_get row a in
+    let arow = a * n in
+    for b = 0 to n - 1 do
+      Array.unsafe_set gram (arow + b)
+        (Array.unsafe_get gram (arow + b) +. (ha *. Array.unsafe_get row b))
+    done;
+    Array.unsafe_set hy a (Array.unsafe_get hy a +. (ha *. y))
+  done;
+  t.yty <- t.yty +. (y *. y);
+  t.p <- t.p + 1
 
 type factor = {
   ls : t;

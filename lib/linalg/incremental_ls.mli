@@ -36,6 +36,16 @@ val n_cols : t -> int
 val yty : t -> float
 (** [y'y], the response sum of squares. *)
 
+val add_row : t -> row:float array -> y:float -> unit
+(** [add_row t ~row ~y] streams one new observation into the moments:
+    [G += row row'], [H'y += y row], [y'y += y^2], [p += 1] — a rank-1
+    update costing O(M^2), allocation-free.  Rows pushed one at a time in
+    index order produce bit-identical moments whatever batch shape they
+    arrived in, which is what makes streaming refit deterministic across
+    shard counts.  Any live {!factor} built on [t] is stale after this
+    call: {!reset} and re-push (or build a fresh factor) before scoring.
+    Raises [Invalid_argument] on a row width mismatch. *)
+
 type factor
 (** A mutable Cholesky factor of the normal equations restricted to an
     ordered subset of columns.  Not safe for concurrent use; create one

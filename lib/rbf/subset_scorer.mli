@@ -21,6 +21,13 @@ val incremental : t -> Archpred_linalg.Incremental_ls.t
 (** The underlying moments, for callers that walk subsets incrementally
     (create one factor per domain from this). *)
 
+val add_row : t -> row:float array -> y:float -> unit
+(** Stream one new observation — a design-matrix row (the kernel value of
+    every candidate center at the new point) and its response — into the
+    precomputed moments ({!Archpred_linalg.Incremental_ls.add_row}).  The
+    internal scratch factor is reset; factors handed out via {!incremental}
+    are stale after this call and must be re-pushed before scoring. *)
+
 val score_factor :
   t -> Archpred_linalg.Incremental_ls.factor -> criterion:Criteria.t -> float
 (** Criterion value of a factor's active subset; [infinity] for the empty

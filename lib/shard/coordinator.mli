@@ -1,0 +1,38 @@
+(** Worker-process supervision and final reassembly.
+
+    The coordinator holds no search state: it writes the spec, spawns
+    [workers] processes through the [argv] hook (each must end up in
+    {!Worker.run} against the same directory), and babysits them —
+    releasing a casualty's incomplete claims and respawning it under a
+    fresh id within the respawn budget.  When every worker has exited
+    cleanly it merges the journals and reassembles the result
+    ({!Stages.assemble}); the model is bit-identical to the equivalent
+    single-process build at any [workers] count because all values and
+    decisions live in the journals, not in the processes. *)
+
+type outcome = {
+  result : Stages.outcome;
+  test_error : Archpred_stats.Error_metrics.t option;
+      (** final model's error on the merged held-out test stage
+          ([None] when [test_n = 0]) *)
+  workers : int;  (** workers requested *)
+  respawns : int;  (** casualties replaced along the way *)
+}
+
+val run :
+  ?obs:Archpred_obs.t ->
+  dir:string ->
+  spec:Spec.t ->
+  workers:int ->
+  argv:(string -> string array) ->
+  ?max_respawns:int ->
+  ?poll:float ->
+  unit ->
+  outcome
+(** Run a sharded search in [dir].  [argv id] is the command vector for
+    worker [id] (e.g. [[| exe; "worker"; "--dir"; dir; "--id"; id |]]);
+    respawned workers get ids ["<base>.r<k>"].  Counts
+    ["shard.workers"] and ["shard.respawns"] on [obs].  Fault site
+    ["shard.merge"] fires before the final merge.  Raises
+    [Archpred (Infeasible _)] when the respawn budget ([max_respawns],
+    default 8) is exhausted, after terminating the remaining workers. *)

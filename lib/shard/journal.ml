@@ -1,0 +1,242 @@
+module Obs = Archpred_obs
+module Json = Archpred_obs.Json
+module Fault = Archpred_fault.Fault
+module Checkpoint = Archpred_core.Checkpoint
+
+let journals_dir dir = Filename.concat dir "journals"
+let path dir worker = Filename.concat (journals_dir dir) (worker ^ ".journal")
+
+let init ~dir =
+  let d = journals_dir dir in
+  match Unix.mkdir d 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Obs.Error.io_error ~path:d (Unix.error_message err)
+
+type t = { path : string; oc : out_channel }
+
+let header_line fingerprint worker =
+  Checkpoint.frame
+    (Json.to_string
+       (Json.Obj
+          [
+            ("type", Json.String "header");
+            ("format", Json.String "archpred-shard");
+            ("version", Json.Int 1);
+            ("fingerprint", Json.String fingerprint);
+            ("worker", Json.String worker);
+          ]))
+
+let check_header ~path:p ~fingerprint json =
+  let field key =
+    match Json.member key json with Some (Json.String s) -> Some s | _ -> None
+  in
+  let ok =
+    (match field "type" with Some "header" -> true | _ -> false)
+    && (match field "format" with Some "archpred-shard" -> true | _ -> false)
+    && (match Json.member "version" json with
+       | Some (Json.Int 1) -> true
+       | _ -> false)
+  in
+  if not ok then
+    Obs.Error.parse_error ~where:p ~line:1 "not an archpred shard journal";
+  match field "fingerprint" with
+  | Some fp when String.equal fp fingerprint -> ()
+  | _ -> Obs.Error.parse_error ~where:p ~line:1 "journal spec fingerprint mismatch"
+
+let read_all p =
+  let ic =
+    match open_in_bin p with
+    | ic -> ic
+    | exception Sys_error msg -> Obs.Error.io_error ~path:p msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match really_input_string ic (in_channel_length ic) with
+      | s -> s
+      | exception End_of_file -> Obs.Error.io_error ~path:p "short read")
+
+(* Walk newline-terminated, checksum-valid lines from the front; anything
+   after the first torn or corrupted line is dead weight.  Returns the
+   parsed lines and the byte length of the valid prefix. *)
+let valid_prefix content =
+  let len = String.length content in
+  let rec go pos acc =
+    if pos >= len then (List.rev acc, pos)
+    else
+      match String.index_from_opt content pos '\n' with
+      | None -> (List.rev acc, pos)
+      | Some nl -> (
+          let line = String.sub content pos (nl - pos) in
+          match Checkpoint.unframe line with
+          | None -> (List.rev acc, pos)
+          | Some json -> go (nl + 1) (json :: acc))
+  in
+  go 0 []
+
+let sync t =
+  flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc)
+
+let open_ ~dir ~worker ~fingerprint =
+  let p = path dir worker in
+  let fresh () =
+    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 p in
+    let t = { path = p; oc } in
+    output_string oc (header_line fingerprint worker);
+    sync t;
+    t
+  in
+  if not (Sys.file_exists p) then (
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 p in
+    let t = { path = p; oc } in
+    output_string oc (header_line fingerprint worker);
+    sync t;
+    t)
+  else
+    let content = read_all p in
+    let lines, keep = valid_prefix content in
+    match lines with
+    | [] -> fresh ()
+    | header :: _ ->
+        check_header ~path:p ~fingerprint header;
+        (if keep < String.length content then
+           let fd =
+             match Unix.openfile p [ Unix.O_WRONLY ] 0o644 with
+             | fd -> fd
+             | exception Unix.Unix_error (err, _, _) ->
+                 Obs.Error.io_error ~path:p (Unix.error_message err)
+           in
+           Fun.protect
+             ~finally:(fun () -> Unix.close fd)
+             (fun () -> Unix.ftruncate fd keep));
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 p
+        in
+        { path = p; oc }
+
+let append_result t ~stage ~index ~value =
+  Fault.point "shard.append";
+  let payload =
+    Json.to_string
+      (Json.Obj
+         [
+           ("type", Json.String "result");
+           ("stage", Json.String stage);
+           ("index", Json.Int index);
+           ("value", Json.String (Checkpoint.float_to_hex_string value));
+         ])
+  in
+  output_string t.oc (Checkpoint.frame payload);
+  flush t.oc
+
+let commit_unit t ~stage ~lo ~hi =
+  let payload =
+    Json.to_string
+      (Json.Obj
+         [
+           ("type", Json.String "unit");
+           ("stage", Json.String stage);
+           ("lo", Json.Int lo);
+           ("hi", Json.Int hi);
+         ])
+  in
+  output_string t.oc (Checkpoint.frame payload);
+  sync t
+
+let close t =
+  match
+    flush t.oc;
+    Unix.fsync (Unix.descr_of_out_channel t.oc);
+    close_out t.oc
+  with
+  | () -> ()
+  | exception Sys_error msg -> Obs.Error.io_error ~path:t.path msg
+
+type scan = {
+  units : (string, unit) Hashtbl.t;
+  values : (string, float) Hashtbl.t;
+}
+
+let ukey stage lo hi = Printf.sprintf "%s:%d-%d" stage lo hi
+let vkey stage index = Printf.sprintf "%s:%d" stage index
+
+let empty_scan () = { units = Hashtbl.create 64; values = Hashtbl.create 256 }
+
+let unit_complete scan ~stage ~lo ~hi = Hashtbl.mem scan.units (ukey stage lo hi)
+let value scan ~stage ~index = Hashtbl.find_opt scan.values (vkey stage index)
+
+let stage_values scan ~stage ~count =
+  Array.init count (fun i ->
+      match value scan ~stage ~index:i with
+      | Some v -> v
+      | None ->
+          Obs.Error.infeasible ~where:"Shard.Journal.stage_values"
+            (Printf.sprintf "missing merged result %s[%d]" stage i))
+
+(* Merge one journal's parsed lines into the scan.  Results are held
+   pending until a unit marker in the same journal covers them — a
+   worker that died after appending results but before committing the
+   unit contributes nothing for that unit. *)
+let merge_lines scan lines =
+  let commit_pending pending ~stage ~lo ~hi =
+    List.iter
+      (fun (s, i, v) ->
+        if String.equal s stage && lo <= i && i < hi then
+          if not (Hashtbl.mem scan.values (vkey s i)) then
+            Hashtbl.replace scan.values (vkey s i) v)
+      (List.rev pending);
+    List.filter
+      (fun (s, i, _) -> not (String.equal s stage && lo <= i && i < hi))
+      pending
+  in
+  let record pending json =
+    let str key =
+      match Json.member key json with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let int key =
+      match Json.member key json with Some (Json.Int n) -> Some n | _ -> None
+    in
+    match str "type" with
+    | Some "result" -> (
+        match (str "stage", int "index", str "value") with
+        | Some stage, Some index, Some value_hex -> (
+            match Checkpoint.float_of_hex_string value_hex with
+            | Some v -> (stage, index, v) :: pending
+            | None -> pending)
+        | _ -> pending)
+    | Some "unit" -> (
+        match (str "stage", int "lo", int "hi") with
+        | Some stage, Some lo, Some hi ->
+            Hashtbl.replace scan.units (ukey stage lo hi) ();
+            commit_pending pending ~stage ~lo ~hi
+        | _ -> pending)
+    | _ -> pending
+  in
+  (* Pending results left at end-of-journal were never committed. *)
+  ignore (List.fold_left record [] lines)
+
+let scan_dir ~dir ~fingerprint =
+  Fault.point "shard.merge";
+  let scan = empty_scan () in
+  let d = journals_dir dir in
+  (match Sys.readdir d with
+  | exception Sys_error _ -> ()
+  | files ->
+      Array.sort String.compare files;
+      Array.iter
+        (fun file ->
+          if Filename.check_suffix file ".journal" then
+            let p = Filename.concat d file in
+            let lines, _keep = valid_prefix (read_all p) in
+            match lines with
+            | [] -> ()
+            | header :: rest ->
+                check_header ~path:p ~fingerprint header;
+                merge_lines scan rest)
+        files);
+  scan

@@ -1,0 +1,68 @@
+(** Per-worker result journals and the canonical merge.
+
+    Every worker owns one append-only journal,
+    [<dir>/journals/<worker>.journal], of CRC-framed JSON lines (the
+    same frame as {!Archpred_core.Checkpoint}).  Line one is a header
+    carrying the {!Spec.fingerprint}; after it come [result] records —
+    one [(stage, index, value)] per computed index, floats in hex — and
+    [unit] markers committing a {!Plan.unit_}.  Results count only once
+    a marker in the {e same} journal covers them, and the marker is
+    fsynced: a worker killed mid-unit leaves appended-but-uncommitted
+    results that the merge discards, and the unit is reclaimed.
+
+    {b Canonical merge.}  {!scan_dir} reads journals in filename order
+    (bytewise [String.compare]) and keeps the first committed value for
+    each [(stage, index)].  Because every index's value is a
+    deterministic function of the spec — whichever worker computes it —
+    duplicate commits are bit-identical, so the merged table (and
+    therefore the final model) does not depend on worker count, timing,
+    or crashes.  Torn or corrupted tails truncate the affected journal
+    at the last valid line, exactly as checkpoint replay does. *)
+
+val init : dir:string -> unit
+(** Create [<dir>/journals/] (idempotent). *)
+
+type t
+(** An open journal (write side). *)
+
+val open_ : dir:string -> worker:string -> fingerprint:string -> t
+(** Open (or resume) worker [worker]'s journal.  A fresh journal gets a
+    fsynced header stamped with [fingerprint]; an existing one is
+    truncated past its last valid line and its header checked against
+    [fingerprint] ([Archpred (Parse_error _)] on mismatch). *)
+
+val append_result : t -> stage:string -> index:int -> value:float -> unit
+(** Append one result record (flushed, not fsynced — durability comes
+    from the unit marker).  Fault site: ["shard.append"]. *)
+
+val commit_unit : t -> stage:string -> lo:int -> hi:int -> unit
+(** Append a unit marker and fsync.  After this returns, the unit's
+    results survive any crash. *)
+
+val sync : t -> unit
+(** Flush and fsync without committing anything. *)
+
+val close : t -> unit
+(** Flush, fsync, and close. *)
+
+(** {2 Merge} *)
+
+type scan
+(** The merged view of every journal in a run directory. *)
+
+val scan_dir : dir:string -> fingerprint:string -> scan
+(** Merge all journals under [<dir>/journals/] (canonical order; see
+    above).  A missing directory merges to an empty scan; a journal
+    whose header fingerprint differs from [fingerprint] raises
+    [Archpred (Parse_error _)].  Fault site: ["shard.merge"]. *)
+
+val unit_complete : scan -> stage:string -> lo:int -> hi:int -> bool
+(** Has some journal committed this exact unit? *)
+
+val value : scan -> stage:string -> index:int -> float option
+(** The merged value at [(stage, index)], if committed anywhere. *)
+
+val stage_values : scan -> stage:string -> count:int -> float array
+(** All [count] values of [stage], in index order.  Raises
+    [Archpred (Infeasible _)] if any index is missing — callers check
+    unit completeness first. *)

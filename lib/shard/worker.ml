@@ -1,0 +1,78 @@
+module Obs = Archpred_obs
+module Fault = Archpred_fault.Fault
+
+(* Process every unit of one stage: rescan, claim the first unclaimed
+   incomplete unit, compute and journal it, repeat; when every unit is
+   committed (by anyone) the stage is done.  Workers that lose every
+   claim race just sleep until the stage resolves — a dead claimant's
+   units come back when the coordinator releases its claims. *)
+let run_stage ~obs ~dir ~owner ~fingerprint ~journal ~chunk ~poll
+    (stage : Stages.stage) =
+  let units =
+    Plan.units ~stage:stage.Stages.name ~count:stage.Stages.count ~chunk
+  in
+  let rec drive () =
+    let scan = Journal.scan_dir ~dir ~fingerprint in
+    let todo =
+      Array.to_list units
+      |> List.filter (fun (u : Plan.unit_) ->
+             not
+               (Journal.unit_complete scan ~stage:u.Plan.stage ~lo:u.Plan.lo
+                  ~hi:u.Plan.hi))
+    in
+    match todo with
+    | [] -> ()
+    | _ :: _ -> (
+        let claimed =
+          List.find_opt
+            (fun u -> Claim.claim ~dir ~name:(Plan.unit_name u) ~owner)
+            todo
+        in
+        match claimed with
+        | Some u ->
+            Fault.point "shard.unit";
+            let values =
+              stage.Stages.compute scan ~lo:u.Plan.lo ~hi:u.Plan.hi
+            in
+            Array.iteri
+              (fun k value ->
+                Journal.append_result journal ~stage:u.Plan.stage
+                  ~index:(u.Plan.lo + k) ~value)
+              values;
+            Journal.commit_unit journal ~stage:u.Plan.stage ~lo:u.Plan.lo
+              ~hi:u.Plan.hi;
+            Obs.incr obs "shard.units_done";
+            drive ()
+        | None ->
+            (* Everything left is claimed by someone else; wait for the
+               commits (or for the coordinator to release dead claims). *)
+            Unix.sleepf poll;
+            drive ())
+  in
+  drive ()
+
+let run ?(obs = Obs.null) ~dir ~id ?(poll = 0.02) () =
+  let spec = Spec.load ~dir in
+  let fingerprint = Spec.fingerprint spec in
+  Claim.init ~dir;
+  Journal.init ~dir;
+  let ctx = Stages.create ~obs spec in
+  let journal = Journal.open_ ~dir ~worker:id ~fingerprint in
+  Fun.protect
+    ~finally:(fun () -> Journal.close journal)
+    (fun () ->
+      let chunk = spec.Spec.shard_unit in
+      let stage s =
+        run_stage ~obs ~dir ~owner:id ~fingerprint ~journal ~chunk ~poll s
+      in
+      Option.iter stage (Stages.test_stage ctx);
+      let rec steps step =
+        if step < Stages.n_steps ctx then (
+          if (not (Stages.stream ctx)) || step = 0 then
+            stage (Stages.lhs_stage ctx ~step);
+          stage (Stages.sim_stage ctx ~step);
+          Option.iter stage (Stages.tune_stage ctx ~step);
+          let scan = Journal.scan_dir ~dir ~fingerprint in
+          if not (Stages.stop_after ctx scan ~step) then steps (step + 1))
+      in
+      steps 0)

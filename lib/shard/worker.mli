@@ -1,0 +1,24 @@
+(** The worker loop of a sharded run.
+
+    A worker loads [<dir>/spec.json], derives the same {!Stages.ctx} as
+    every other participant, and walks the stage sequence in order —
+    test, then per step: LHS, sim, tune.  Within a stage it repeatedly
+    claims the first unclaimed incomplete unit ({!Claim}), computes its
+    indices, journals the results, and commits the unit; when every
+    unit of the stage is committed (by any worker) it moves on.  All
+    control decisions (stage completion, early stop) are read off the
+    merged journals, so workers coordinate through the filesystem
+    alone and any of them can die at any point without corrupting the
+    run.
+
+    Fault site ["shard.unit"] fires after a successful claim, before
+    the unit's first computation — the canonical mid-unit crash point
+    for tests. *)
+
+val run :
+  ?obs:Archpred_obs.t -> dir:string -> id:string -> ?poll:float -> unit -> unit
+(** Run worker [id] against run directory [dir] until the spec's
+    schedule completes.  [poll] (default 20 ms) is the back-off while
+    waiting on units claimed by other workers.  Bumps the
+    ["shard.units_done"] counter on [obs] per committed unit.  Raises
+    [Archpred _] on an unreadable or mismatched spec/journal. *)

@@ -1,0 +1,59 @@
+(* Sharded-search smoke test over the real binary: a 2-worker
+   `archpred train --shards` run — with one worker killed mid-unit by an
+   injected fault and respawned by the coordinator — must save a model
+   byte-identical to the single-process run's. *)
+
+(* archpred-lint: allow exit -- check harness failure path *)
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let run ?fault argv =
+  let env =
+    match fault with
+    | None -> Unix.environment ()
+    | Some spec ->
+        Array.append (Unix.environment ())
+          [| "ARCHPRED_SHARD_FAULT=" ^ spec |]
+  in
+  let pid =
+    Unix.create_process_env argv.(0) argv env Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, status ->
+      let what =
+        match status with
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+      in
+      fail "check_shard: %s failed (%s)" argv.(1) what
+
+let () =
+  let archpred = Sys.argv.(1) in
+  let common =
+    [|
+      archpred; "train"; "-b"; "crafty"; "-n"; "20"; "--trace-length"; "2000";
+      "--seed"; "7"; "--test-points"; "5";
+    |]
+  in
+  run (Array.append common [| "--save"; "shard_smoke_single.model" |]);
+  (* Worker w0 dies permanently at its second claimed unit; the
+     coordinator must respawn it (fresh id, so the replacement is not
+     re-armed) and the merged model must not change. *)
+  run
+    ~fault:"w0:shard.unit:2:sticky"
+    (Array.append common
+       [|
+         "--shards"; "2"; "--shard-dir"; "shard_smoke_run"; "--save";
+         "shard_smoke_sharded.model";
+       |]);
+  let single = read_file "shard_smoke_single.model" in
+  let sharded = read_file "shard_smoke_sharded.model" in
+  if not (String.equal single sharded) then
+    fail "check_shard: sharded model differs from the single-process model";
+  print_endline
+    "ok: 2-worker sharded train (one worker killed mid-unit) is \
+     byte-identical to the single-process model"

@@ -11,3 +11,9 @@
 (hot-path Core.Memo.commit)
 (hot-path Serve_net.Daemon.bucket)
 (hot-path Serve_net.Daemon.bucket_from)
+
+; Streaming-refit kernels: one rank-1 Gram/moment push per merged
+; journal row.  The push is the per-row cost the streaming schedule
+; pays instead of a from-scratch refit, so it must not allocate.
+(hot-path Linalg.Incremental_ls.add_row)
+(hot-path Rbf.Subset_scorer.add_row)

@@ -32,3 +32,10 @@
 ; Process-wide Atomic totals: racy-by-design monotonic counters.
 (race-global Stats.Parallel.retries_total "Atomic counter; monotonic total, no ordering claim")
 (race-global Stats.Parallel.failed_total "Atomic counter; monotonic total, no ordering claim")
+
+; Sharded-search coordination (lib/shard): cross-process protocols that
+; look like shared mutable state to a per-process analysis.
+(race-barrier Shard.Claim.claim "O_CREAT|O_EXCL create is the atomic cross-process mutual exclusion; a claim file is immutable after create")
+(race-barrier Shard.Journal.append_result "single-writer journal: each worker appends only to its own file; the merge reads only unit-committed prefixes")
+(race-barrier Shard.Journal.scan_dir "read-only merge over fsynced journal prefixes; first-wins dedup is order-canonical (filename sort)")
+(race-barrier Shard.Stages.assemble "ctx caches are process-private memoisation of pure functions of (spec, merged scan)")

@@ -43,7 +43,10 @@ let preserved ~path keys =
             keys)
 
 let write ~path ~schema fields =
+  (* Serialise (and stamp [git_describe]) before touching [path]:
+     truncating a tracked report first would self-stamp it "-dirty". *)
+  let payload = Json.to_string (obj ~schema fields) in
   let oc = open_out path in
-  output_string oc (Json.to_string (obj ~schema fields));
+  output_string oc payload;
   output_char oc '\n';
   close_out oc
